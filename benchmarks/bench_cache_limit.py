@@ -1,0 +1,70 @@
+"""§6.1 ablation: action-cache size limit sweep.
+
+The paper: "Memory utilization can be limited by fixing a maximum cache
+size and clearing the cache when it fills ... cache size can be reduced
+by a factor of ten, with little impact on memoized simulator
+performance."
+
+The reproduction sweeps the byte limit over a regular workload (mgrid,
+high reuse) and the irregular worst case (go): mgrid should tolerate a
+10x smaller cache nearly for free; go should degrade once the limit
+forces repeated clearing.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.harness import measure
+from repro.bench.reporting import render_generic
+from repro.workloads.suite import build_cached
+
+from conftest import write_result
+
+# Limits as fractions of the unlimited footprint measured on the fly.
+FRACTIONS = [None, 1.0, 0.5, 0.1, 0.02]
+
+_results: dict = {}
+
+
+def _sweep(workload: str) -> list[tuple[str, float, int]]:
+    if workload in _results:
+        return _results[workload]
+    program = build_cached(workload)
+    base = measure("facile", program, workload)
+    rows = [("unlimited", base.kips, 0)]
+    footprint = base.memo_bytes
+    for fraction in FRACTIONS[1:]:
+        limit = max(int(footprint * fraction), 64 * 1024)
+        m = measure("facile", program, workload, cache_limit_bytes=limit)
+        rows.append((f"{fraction:.2f}x", m.kips, m.memo_clears))
+    _results[workload] = rows
+    return rows
+
+
+@pytest.mark.parametrize("workload", ["mgrid", "go"])
+def test_cache_limit_sweep(benchmark, workload):
+    start = time.perf_counter()
+    rows = _sweep(workload)
+    benchmark.extra_info.update({"workload": workload, "rows": rows})
+    benchmark.pedantic(lambda: _sweep(workload), rounds=1, iterations=1)
+    del start
+
+
+def test_cache_limit_report(benchmark):
+    table_rows = []
+    for workload in ["mgrid", "go"]:
+        for label, kips, clears in _sweep(workload):
+            table_rows.append([workload, label, f"{kips:.1f}k", str(clears)])
+    text = render_generic(
+        "Cache-limit sweep (paper 6.1: '10x smaller cache, little impact')",
+        ["workload", "limit", "kips", "clears"],
+        table_rows,
+    )
+    benchmark.pedantic(lambda: text, rounds=1, iterations=1)
+    write_result("cache_limit.txt", text)
+
+    # Shape: the regular workload keeps most of its performance at a
+    # 10x-reduced cache.
+    mgrid = {label: kips for label, kips, _ in _sweep("mgrid")}
+    assert mgrid["0.10x"] > 0.5 * mgrid["unlimited"]

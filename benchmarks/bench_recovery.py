@@ -1,0 +1,100 @@
+"""§6.3 item 2 ablation: the cost of action-cache miss recovery.
+
+The paper keeps one slow simulator whose dynamic statements are guarded
+by ``if (!recover)`` tests, and proposes splitting normal and recovery
+modes into separate functions.  This benchmark quantifies how expensive
+recovery actually is in our runtime by constructing a simulator whose
+verify values change at a controlled rate:
+
+* 0% misses   — pure replay;
+* ~10% misses — occasional recovery;
+* 100% misses — every replayed step ends in recovery.
+
+The measured quantity is steps per second, so the recovery penalty
+(slow re-execution with guarded dynamic statements) is directly
+visible.
+"""
+
+import time
+
+import pytest
+
+from repro.facile import FastForwardEngine, compile_source
+
+SRC = """
+extern probe(1);
+val acc = 0;
+val init = 0;
+
+fun main(step) {
+    // Some rt-static busywork that replay should skip.
+    val x = step;
+    val i = 0;
+    while (i < 50) {
+        x = (x * 3 + i) ?u32;
+        i = i + 1;
+    }
+    val v = probe(x)?verify;
+    acc = acc + v;
+    init = step;
+}
+"""
+
+STEPS = 4000
+
+_results: dict = {}
+
+
+def _run(miss_period: int) -> float:
+    """Returns steps/second with one verify miss every `miss_period`
+    steps (0 = never)."""
+    if miss_period in _results:
+        return _results[miss_period]
+    result = compile_source(SRC, name="recovery-bench")
+    counter = [0]
+
+    def probe(x):
+        counter[0] += 1
+        if miss_period and counter[0] % miss_period == 0:
+            return counter[0]  # fresh value -> verify miss
+        return 7
+
+    sim = result.simulator
+    ctx = sim.make_context({"probe": probe})
+    ctx.write_global("init", 0)
+    engine = FastForwardEngine(sim, ctx)
+    start = time.perf_counter()
+    engine.run(max_steps=STEPS)
+    elapsed = time.perf_counter() - start
+    rate = STEPS / elapsed
+    _results[miss_period] = rate
+    return rate
+
+
+@pytest.mark.parametrize("miss_period", [0, 10, 1], ids=["0%-miss", "10%-miss", "100%-miss"])
+def test_recovery_rate(benchmark, miss_period):
+    rate = _run(miss_period)
+    benchmark.extra_info.update({"miss_period": miss_period, "steps_per_sec": round(rate)})
+    benchmark.pedantic(lambda: _run(miss_period), rounds=1, iterations=1)
+
+
+def test_recovery_report(benchmark):
+    from repro.bench.reporting import render_generic
+
+    from conftest import write_result
+
+    rows = [
+        ["0% (pure replay)", f"{_run(0):,.0f}"],
+        ["10% miss rate", f"{_run(10):,.0f}"],
+        ["100% miss rate", f"{_run(1):,.0f}"],
+    ]
+    text = render_generic(
+        "Recovery-cost microbenchmark (paper 6.3 item 2): "
+        "steps/second vs verify-miss rate",
+        ["miss rate", "steps/sec"],
+        rows,
+    )
+    benchmark.pedantic(lambda: text, rounds=1, iterations=1)
+    write_result("ablation_recovery.txt", text)
+
+    assert _run(0) > _run(1), "pure replay must beat constant recovery"

@@ -1,0 +1,80 @@
+"""Micro-architecture study: window size and fast-forwarding.
+
+The paper's simulator models a 32-instruction out-of-order window
+"similar in complexity to the R10000 pipeline" (§6.2).  This benchmark
+sweeps the window size to show (a) the IPC the window buys — the
+reason detailed OOO simulation is slow in the first place — and (b)
+how the action-cache key (which embeds the window state) scales:
+larger windows mean larger keys and a bigger memoized footprint, the
+trade-off behind the paper's instruction-queue compression discussion
+(§2.2).
+"""
+
+import time
+
+import pytest
+
+from repro.bench.reporting import render_generic
+from repro.ooo.common import MachineConfig
+from repro.ooo.facile_ooo import run_facile_ooo
+from repro.ooo.reference import run_reference
+from repro.workloads.suite import build_cached
+
+from conftest import write_result
+
+WORKLOAD = "swim"
+SIZES = [4, 8, 16, 32, 64]
+
+_rows: dict[int, tuple] = {}
+
+
+def _sweep(size: int) -> tuple:
+    if size in _rows:
+        return _rows[size]
+    program = build_cached(WORKLOAD)
+    config = MachineConfig(window_size=size)
+    ref = run_reference(program, config)
+    start = time.perf_counter()
+    facile = run_facile_ooo(program, config)
+    elapsed = time.perf_counter() - start
+    assert facile.stats.cycles == ref.stats.cycles  # cycle-exact at any size
+    row = (
+        size,
+        ref.stats.cycles,
+        ref.stats.ipc,
+        facile.stats.retired / elapsed / 1000,
+        facile.engine.cache.stats.bytes_cumulative / 1024,
+    )
+    _rows[size] = row
+    return row
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_window_size(benchmark, size):
+    row = _sweep(size)
+    benchmark.extra_info.update(
+        {"window": size, "ipc": round(row[2], 3), "memo_kb": round(row[4], 1)}
+    )
+    benchmark.pedantic(lambda: _sweep(size), rounds=1, iterations=1)
+
+
+def test_window_report(benchmark):
+    rows = []
+    for size in SIZES:
+        window, cycles, ipc, kips, memo_kb = _sweep(size)
+        rows.append(
+            [str(window), f"{cycles:,}", f"{ipc:.2f}", f"{kips:.1f}k", f"{memo_kb:.0f}"]
+        )
+    text = render_generic(
+        f"Window-size study on '{WORKLOAD}' (paper models a 32-entry "
+        "R10000-like window)",
+        ["window", "cycles", "IPC", "memoized kips", "memo KB"],
+        rows,
+    )
+    benchmark.pedantic(lambda: text, rounds=1, iterations=1)
+    write_result("window_study.txt", text)
+
+    ipc = {s: _sweep(s)[2] for s in SIZES}
+    # Bigger windows must never hurt, and must help somewhere.
+    assert ipc[32] >= ipc[4]
+    assert ipc[32] > 1.1 * ipc[4] or ipc[8] > 1.1 * ipc[4]

@@ -1,0 +1,80 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Measurements are cached per pytest session so that e.g. the baseline
+(SimpleScalar-like) runs that Figure 11, Figure 12, and Table 1 all
+need are executed once.  Rendered tables are written to
+``bench_results/`` as durable artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.harness import Measurement, measure
+from repro.workloads.suite import WORKLOADS, build_cached
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench_results"
+
+#: Order used by every table, mirroring the paper's Table 1/2 layout
+#: (integer benchmarks first, then floating-point analogues).
+BENCH_ORDER = [
+    "go",
+    "m88ksim",
+    "gcc",
+    "compress",
+    "li",
+    "ijpeg",
+    "perl",
+    "vortex",
+    "tomcatv",
+    "swim",
+    "su2cor",
+    "hydro2d",
+    "mgrid",
+    "applu",
+    "turb3d",
+    "apsi",
+    "fpppp",
+    "wave5",
+]
+
+
+class MeasurementCache:
+    def __init__(self) -> None:
+        self._cache: dict[tuple, Measurement] = {}
+
+    def get(
+        self,
+        workload: str,
+        simulator: str,
+        cache_limit_bytes: int | None = None,
+        scale: int | None = None,
+    ) -> Measurement:
+        key = (workload, simulator, cache_limit_bytes, scale)
+        if key not in self._cache:
+            program = build_cached(workload, scale)
+            self._cache[key] = measure(
+                simulator,
+                program,
+                workload_name=workload,
+                cache_limit_bytes=cache_limit_bytes,
+            )
+        return self._cache[key]
+
+
+@pytest.fixture(scope="session")
+def mcache() -> MeasurementCache:
+    return MeasurementCache()
+
+
+def write_result(filename: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / filename).write_text(text + "\n")
+    print("\n" + text)
+
+
+def all_workloads() -> list[str]:
+    assert set(BENCH_ORDER) == set(WORKLOADS)
+    return BENCH_ORDER

@@ -1,0 +1,58 @@
+"""Branch-predictor study on the out-of-order model.
+
+The branch predictor is an *external*, un-memoized substrate (paper
+§6.2), so it can be swapped freely without recompiling the simulator.
+This example compares four predictors on the branchy ``go`` workload
+and a regular loop workload, reporting accuracy and the cycle cost of
+mispredictions.
+
+Run:  python examples/branch_prediction_study.py
+"""
+
+from repro.ooo.reference import ReferenceOooSim
+from repro.uarch.branch import (
+    AlwaysNotTaken,
+    AlwaysTaken,
+    BimodalPredictor,
+    FrontEndPredictor,
+    GSharePredictor,
+    TournamentPredictor,
+)
+from repro.workloads.suite import WORKLOADS, build_cached
+
+PREDICTORS = {
+    "always-taken": lambda: AlwaysTaken(),
+    "always-not-taken": lambda: AlwaysNotTaken(),
+    "bimodal-2k": lambda: BimodalPredictor(2048),
+    "gshare-10": lambda: GSharePredictor(10),
+    "tournament": lambda: TournamentPredictor(2048, 10),
+}
+
+
+def study(workload: str, scale: int | None = None) -> None:
+    program = build_cached(workload, scale)
+    print(f"\nWorkload: {workload} ({WORKLOADS[workload].description})")
+    print(f"{'predictor':<18} {'cycles':>10} {'IPC':>6} {'branches':>9} "
+          f"{'mispred':>8} {'accuracy':>9}")
+    baseline_cycles = None
+    for name, make in PREDICTORS.items():
+        predictor = FrontEndPredictor(direction=make())
+        sim = ReferenceOooSim(program, predictor=predictor)
+        sim.run()
+        stats = sim.stats
+        accuracy = 1 - stats.mispredicts / stats.branches if stats.branches else 1.0
+        if baseline_cycles is None:
+            baseline_cycles = stats.cycles
+        print(f"{name:<18} {stats.cycles:>10,} {stats.ipc:>6.2f} "
+              f"{stats.branches:>9,} {stats.mispredicts:>8,} {100 * accuracy:>8.2f}%")
+
+
+def main() -> None:
+    study("go", 1)
+    study("mgrid", 1)
+    print("\nBetter direction prediction directly buys cycles: the "
+          "mispredict penalty is the only difference between rows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Reproduction of "Facile: A Language and Compiler for High-Performance
+Processor Simulators" (Schnarr, Hill, Larus — PLDI 2001).
+
+Subpackages:
+
+* :mod:`repro.facile` — the Facile language and fast-forwarding compiler
+  (the paper's primary contribution);
+* :mod:`repro.isa` — the SPARC-lite target ISA: tables, assembler,
+  golden functional simulator, and the generated Facile description;
+* :mod:`repro.uarch` — external micro-architecture substrates
+  (non-blocking caches, branch predictors);
+* :mod:`repro.ooo` — three implementations of one out-of-order model:
+  conventional, hand-coded memoizing (FastSim), and Facile-compiled;
+* :mod:`repro.workloads` — minic compiler + SPEC95-analogue suite;
+* :mod:`repro.bench` — measurement harness and paper-style reporting.
+"""
+
+__version__ = "1.0.0"

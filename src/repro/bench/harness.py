@@ -1,0 +1,133 @@
+"""Measurement harness shared by the benchmark suite.
+
+Runs a workload on one of the five simulator configurations the paper's
+evaluation compares and returns a :class:`Measurement` with wall-clock
+time, simulated instruction/cycle counts, fast-forward statistics, and
+memoized-data accounting — everything Figures 11/12 and Tables 1/2 need.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..isa.program import Program
+from ..ooo.common import MachineConfig
+from ..ooo.facile_ooo import run_facile_ooo
+from ..ooo.fastsim import run_fastsim
+from ..ooo.reference import run_reference
+
+#: Simulator configurations, named as the paper's figures use them.
+SIMULATORS = (
+    "simplescalar",  # conventional reference (Figures 11 & 12 baseline)
+    "fastsim",  # hand-coded memoizing (Figure 11 "with memoization")
+    "fastsim-nomemo",  # hand-coded, memoization disabled (Figure 11)
+    "facile",  # compiled fast-forwarding simulator (Figure 12)
+    "facile-nomemo",  # compiled, slow engine only (Figure 12)
+)
+
+
+@dataclass
+class Measurement:
+    workload: str
+    simulator: str
+    seconds: float
+    retired: int
+    cycles: int
+    # Fast-forwarding statistics (zero for non-memoizing simulators).
+    retired_fast: int = 0
+    steps_fast: int = 0
+    steps_slow: int = 0
+    steps_recovered: int = 0
+    memo_bytes: int = 0
+    memo_clears: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def kips(self) -> float:
+        """Simulated instructions per host second (the paper's y-axis),
+        in thousands."""
+        return self.retired / self.seconds / 1000 if self.seconds else 0.0
+
+    @property
+    def fast_fraction(self) -> float:
+        """Fraction of instructions simulated by the fast engine
+        (Table 1's metric)."""
+        return self.retired_fast / self.retired if self.retired else 0.0
+
+
+def measure(
+    simulator: str,
+    program: Program,
+    workload_name: str = "?",
+    config: MachineConfig | None = None,
+    cache_limit_bytes: int | None = None,
+    max_cycles: int = 200_000_000,
+) -> Measurement:
+    """Run `program` to completion on the named simulator configuration."""
+    start = time.perf_counter()
+    if simulator == "simplescalar":
+        sim = run_reference(program, config, max_cycles=max_cycles)
+        elapsed = time.perf_counter() - start
+        return Measurement(
+            workload_name, simulator, elapsed, sim.stats.retired, sim.stats.cycles
+        )
+    if simulator in ("fastsim", "fastsim-nomemo"):
+        memoize = simulator == "fastsim"
+        sim = run_fastsim(
+            program,
+            config,
+            memoize=memoize,
+            max_cycles=max_cycles,
+            memo_limit_bytes=cache_limit_bytes,
+        )
+        elapsed = time.perf_counter() - start
+        return Measurement(
+            workload_name,
+            simulator,
+            elapsed,
+            sim.stats.retired,
+            sim.stats.cycles,
+            retired_fast=sim.retired_fast,
+            steps_fast=sim.mstats.cycles_fast,
+            steps_slow=sim.mstats.cycles_slow,
+            steps_recovered=sim.mstats.cycles_recovered,
+            memo_bytes=sim.mstats.bytes_estimate,
+            memo_clears=sim.mstats.clears,
+        )
+    if simulator in ("facile", "facile-nomemo"):
+        memoized = simulator == "facile"
+        run = run_facile_ooo(
+            program,
+            config,
+            memoized=memoized,
+            max_steps=max_cycles,
+            cache_limit_bytes=cache_limit_bytes,
+        )
+        elapsed = time.perf_counter() - start
+        if memoized:
+            cache_stats = run.engine.cache.stats
+            return Measurement(
+                workload_name,
+                simulator,
+                elapsed,
+                run.stats.retired,
+                run.stats.cycles,
+                retired_fast=run.retired_fast,
+                steps_fast=run.run_stats.steps_fast,
+                steps_slow=run.run_stats.steps_slow,
+                steps_recovered=run.run_stats.steps_recovered,
+                memo_bytes=cache_stats.bytes_cumulative,
+                memo_clears=cache_stats.clears,
+            )
+        return Measurement(
+            workload_name, simulator, elapsed, run.stats.retired, run.stats.cycles
+        )
+    raise ValueError(f"unknown simulator {simulator!r}")
+
+
+def harmonic_mean(values: list[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return len(vals) / sum(1.0 / v for v in vals)

@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``compile FILE.fac``
+    Compile a Facile simulator description; print the binding-time
+    division summary and optionally the generated engines.
+
+``asm FILE.s``
+    Assemble SPARC-lite source; print a hex listing and symbols.
+
+``run FILE.s``
+    Assemble and simulate a SPARC-lite program on the golden model, the
+    Facile functional simulator, or one of the pipeline models.
+
+``minic FILE.c``
+    Compile a minic program (optionally print the generated assembly)
+    and run it, showing the ``out()`` buffer.
+
+``workloads``
+    List or run the SPEC95-analogue workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .facile import compile_source
+from .isa.assembler import assemble
+from .isa.disasm import disassemble_program
+from .isa.simulate import run_facile_functional, run_golden
+from .ooo.facile_inorder import run_facile_inorder
+from .ooo.facile_ooo import run_facile_ooo
+from .ooo.fastsim import run_fastsim
+from .ooo.inorder import run_inorder
+from .ooo.reference import run_reference
+from .workloads.minic import MinicCompiler, read_out_buffer
+from .workloads.suite import WORKLOADS, build_cached
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    source = open(args.file).read()
+    result = compile_source(
+        source,
+        name=args.file,
+        flush_policy="live" if args.flush_live else "all",
+        coalesce=not args.no_coalesce,
+        fold=not args.no_fold,
+    )
+    sim = result.simulator
+    summary = sim.division_summary
+    print(f"compiled {args.file}")
+    print(f"  actions:              {summary['n_actions']}")
+    print(f"  dynamic result tests: {summary['n_verify_actions']}")
+    print(f"  constant folds:       {result.n_constant_folds}")
+    print(f"  dynamic variables:    {', '.join(summary['dynamic_vars']) or '(none)'}")
+    print(f"  flushed globals:      {', '.join(summary['flush_globals']) or '(none)'}")
+    if args.dump:
+        text = {
+            "slow": sim.source_slow,
+            "fast": sim.source_fast,
+            "plain": sim.source_plain,
+        }[args.dump]
+        print(f"\n--- generated {args.dump} engine ---")
+        print(text)
+    return 0
+
+
+def _cmd_asm(args: argparse.Namespace) -> int:
+    program = assemble(open(args.file).read())
+    print(f"text: {len(program.text_words)} words at {program.text_base:#x}, "
+          f"data: {len(program.data_bytes)} bytes at {program.data_base:#x}, "
+          f"entry {program.entry:#x}")
+    if args.listing:
+        for i, word in enumerate(program.text_words):
+            addr = program.text_base + 4 * i
+            labels = [s for s, a in program.symbols.items() if a == addr]
+            tag = f"  <{', '.join(labels)}>" if labels else ""
+            print(f"  {addr:#010x}: {word:08x}{tag}")
+    if args.disasm:
+        print(disassemble_program(program))
+    if args.symbols:
+        for name, addr in sorted(program.symbols.items(), key=lambda kv: kv[1]):
+            print(f"  {addr:#010x} {name}")
+    return 0
+
+
+_RUNNERS = {
+    "golden": lambda p, memo: run_golden(p),
+    "functional": lambda p, memo: run_facile_functional(p, memoized=memo),
+    "inorder": lambda p, memo: run_facile_inorder(p, memoized=memo),
+    "inorder-ref": lambda p, memo: run_inorder(p),
+    "ooo": lambda p, memo: run_facile_ooo(p, memoized=memo),
+    "ooo-ref": lambda p, memo: run_reference(p),
+    "ooo-fastsim": lambda p, memo: run_fastsim(p, memoize=memo),
+}
+
+
+def _report_run(kind: str, result, elapsed: float) -> None:
+    if kind == "golden":
+        print(f"retired {result.instret:,} instructions in {elapsed:.2f}s "
+              f"({result.instret / max(elapsed, 1e-9) / 1000:.1f} kips)")
+        return
+    stats = getattr(result, "stats", None)
+    if stats is not None and hasattr(stats, "cycles") and getattr(stats, "cycles", 0):
+        print(f"cycles {stats.cycles:,}  retired {stats.retired:,}  "
+              f"IPC {stats.retired / max(1, stats.cycles):.2f}")
+        if hasattr(stats, "branches"):
+            print(f"branches {stats.branches:,} ({stats.mispredicts:,} mispredicted), "
+                  f"loads {stats.loads:,}, stores {stats.stores:,}")
+    retired = getattr(result, "retired", None) or getattr(
+        getattr(result, "stats", None), "retired", 0
+    )
+    print(f"host time {elapsed:.2f}s ({retired / max(elapsed, 1e-9) / 1000:.1f} kips)")
+    run_stats = getattr(result, "run_stats", None) or getattr(result, "stats", None)
+    if hasattr(result, "run_stats") and result.run_stats is not None:
+        rs = result.run_stats
+        if getattr(rs, "steps_total", 0):
+            print(f"steps: {rs.steps_total:,} total, {rs.steps_fast:,} fast, "
+                  f"{rs.steps_slow:,} slow, {rs.steps_recovered:,} recovered")
+    del run_stats
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program = assemble(open(args.file).read())
+    runner = _RUNNERS[args.sim]
+    start = time.perf_counter()
+    result = runner(program, not args.plain)
+    elapsed = time.perf_counter() - start
+    _report_run(args.sim, result, elapsed)
+    return 0
+
+
+def _cmd_minic(args: argparse.Namespace) -> int:
+    compiler = MinicCompiler(open(args.file).read())
+    if args.emit_asm:
+        print(compiler.assembly())
+        return 0
+    program = compiler.compile()
+    sim = run_golden(program, max_steps=args.max_steps)
+    if not sim.halted:
+        print("program did not halt within the step budget", file=sys.stderr)
+        return 1
+    print(f"retired {sim.instret:,} instructions")
+    values = read_out_buffer(sim.mem)
+    if values:
+        print("out():", ", ".join(str(v) for v in values))
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    if args.name is None:
+        print(f"{'name':<10} {'class':<5} description")
+        for w in WORKLOADS.values():
+            print(f"{w.name:<10} {w.category:<5} {w.description}")
+        return 0
+    program = build_cached(args.name, args.scale)
+    runner = _RUNNERS[args.sim]
+    start = time.perf_counter()
+    result = runner(program, not args.plain)
+    elapsed = time.perf_counter() - start
+    _report_run(args.sim, result, elapsed)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Facile (PLDI 2001) reproduction: compile and run "
+        "fast-forwarding processor simulators.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile a Facile description")
+    p.add_argument("file")
+    p.add_argument("--dump", choices=["slow", "fast", "plain"], help="print a generated engine")
+    p.add_argument("--no-coalesce", action="store_true", help="one action per dynamic statement")
+    p.add_argument("--no-fold", action="store_true", help="disable constant folding")
+    p.add_argument("--flush-live", action="store_true", help="elide dead global flushes")
+    p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("asm", help="assemble SPARC-lite source")
+    p.add_argument("file")
+    p.add_argument("--listing", action="store_true", help="print a hex listing")
+    p.add_argument("--symbols", action="store_true", help="print the symbol table")
+    p.add_argument("--disasm", action="store_true", help="print a disassembly listing")
+    p.set_defaults(func=_cmd_asm)
+
+    p = sub.add_parser("run", help="assemble and simulate a SPARC-lite program")
+    p.add_argument("file")
+    p.add_argument("--sim", choices=sorted(_RUNNERS), default="golden")
+    p.add_argument("--plain", action="store_true", help="disable memoization")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("minic", help="compile and run a minic program")
+    p.add_argument("file")
+    p.add_argument("--emit-asm", action="store_true", help="print generated assembly")
+    p.add_argument("--max-steps", type=int, default=50_000_000)
+    p.set_defaults(func=_cmd_minic)
+
+    p = sub.add_parser("workloads", help="list or run the SPEC95-analogue suite")
+    p.add_argument("name", nargs="?", help="workload to run (omit to list)")
+    p.add_argument("--scale", type=int, default=None)
+    p.add_argument("--sim", choices=sorted(_RUNNERS), default="ooo")
+    p.add_argument("--plain", action="store_true")
+    p.set_defaults(func=_cmd_workloads)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output was piped into something like `head`; not an error.
+        return 0

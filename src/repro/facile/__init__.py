@@ -1,0 +1,51 @@
+"""Facile: a language and compiler for fast-forwarding processor simulators.
+
+This package reproduces the PLDI 2001 paper's primary contribution.  The
+public surface:
+
+* :func:`compile_source` — compile Facile source into a two-engine
+  fast-forwarding simulator;
+* :class:`FastForwardEngine` — memoized driver (fast replay + slow
+  recording with miss recovery);
+* :class:`PlainEngine` — conventional, non-memoized driver;
+* :class:`SimContext` — dynamic simulator state (slots, target memory,
+  statistics, extern bindings);
+* :class:`ActionCache` — the specialized action cache.
+"""
+
+from .compiler import CompilationResult, compile_source
+from .inspect import cache_summary, dump_entry, explain_division, hot_actions
+from .pprint import format_expr, format_program, format_stmt
+from .runtime import (
+    ActionCache,
+    CompiledSimulator,
+    FastForwardEngine,
+    Memory,
+    PlainEngine,
+    SimContext,
+    SimulationError,
+)
+from .source import FacileError, LexError, ParseError, SemanticError
+
+__all__ = [
+    "ActionCache",
+    "cache_summary",
+    "dump_entry",
+    "explain_division",
+    "format_expr",
+    "format_program",
+    "format_stmt",
+    "hot_actions",
+    "CompilationResult",
+    "CompiledSimulator",
+    "FacileError",
+    "FastForwardEngine",
+    "LexError",
+    "Memory",
+    "ParseError",
+    "PlainEngine",
+    "SemanticError",
+    "SimContext",
+    "SimulationError",
+    "compile_source",
+]

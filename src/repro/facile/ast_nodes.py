@@ -1,0 +1,319 @@
+"""Abstract syntax tree for the Facile language.
+
+Nodes are plain dataclasses.  Every node carries a :class:`SourceSpan` so
+later phases (semantic analysis, binding-time analysis) can report
+precise diagnostics.  The tree is deliberately small: Facile's power
+comes from its restrictions (no pointers, no recursion), not its size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .source import SourceSpan, UNKNOWN_SPAN
+
+
+@dataclass
+class Node:
+    span: SourceSpan = field(default=UNKNOWN_SPAN, kw_only=True, repr=False, compare=False)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass
+class StrLit(Expr):
+    value: str
+
+
+@dataclass
+class Name(Expr):
+    ident: str
+
+
+@dataclass
+class Unary(Expr):
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Call(Expr):
+    """A call ``name(args...)`` to a Facile fun, an extern, or a builtin."""
+
+    func: str
+    args: list[Expr]
+
+
+@dataclass
+class Attr(Expr):
+    """Attribute application ``base?name(args...)``.
+
+    The paper uses this form for bit manipulation (``imm?sext(32)``),
+    decode-and-dispatch (``PC?exec()``), queue operations, and our
+    explicit dynamic-result pin (``e?verify``).
+    """
+
+    base: Expr
+    name: str
+    args: list[Expr]
+    has_parens: bool = True
+
+
+@dataclass
+class ArrayNew(Expr):
+    """``array(size){init}`` — a fresh array of `size` copies of `init`."""
+
+    size: Expr
+    init: Expr
+
+
+@dataclass
+class QueueNew(Expr):
+    """``queue()`` — a fresh empty double-ended queue."""
+
+
+@dataclass
+class TupleLit(Expr):
+    """``(a, b, c)`` — used to assign multi-argument keys to ``init``."""
+
+    items: list[Expr]
+
+
+# ---------------------------------------------------------------------------
+# Pattern expressions (instruction encodings)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PatExpr(Node):
+    pass
+
+
+@dataclass
+class PatRel(PatExpr):
+    """A constraint on a token field, e.g. ``op == 0x00``."""
+
+    field_name: str
+    op: str  # one of == != < <= > >=
+    value: int
+
+
+@dataclass
+class PatRef(PatExpr):
+    """Reference to a previously declared pattern name."""
+
+    name: str
+
+
+@dataclass
+class PatAnd(PatExpr):
+    left: PatExpr
+    right: PatExpr
+
+
+@dataclass
+class PatOr(PatExpr):
+    left: PatExpr
+    right: PatExpr
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt]
+
+
+@dataclass
+class ValStmt(Stmt):
+    """``val x = e;`` — declaration of a (mutable) variable."""
+
+    name: str
+    init: Expr | None
+    type_name: str | None = None
+
+
+@dataclass
+class Assign(Stmt):
+    """``lvalue op= expr;`` where lvalue is a Name or an Index."""
+
+    target: Expr
+    op: str  # "=", "+=", ...
+    value: Expr
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then_body: Stmt
+    else_body: Stmt | None
+
+
+@dataclass
+class Case(Node):
+    """One arm of a switch.
+
+    ``kind`` is "int" (case constants in `values`), "pat" (pattern names
+    in `pat_names`), or "default".
+    """
+
+    kind: str
+    values: list[Expr]
+    pat_names: list[str]
+    body: Block
+
+
+@dataclass
+class Switch(Stmt):
+    scrutinee: Expr
+    cases: list[Case]
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None
+    cond: Expr | None
+    step: Stmt | None
+    body: Stmt
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Decl(Node):
+    pass
+
+
+@dataclass
+class FieldDecl(Node):
+    name: str
+    lo: int
+    hi: int
+
+    @property
+    def width(self) -> int:
+        return self.hi - self.lo + 1
+
+
+@dataclass
+class TokenDecl(Decl):
+    name: str
+    width: int
+    fields: list[FieldDecl]
+
+
+@dataclass
+class PatDecl(Decl):
+    name: str
+    expr: PatExpr
+
+
+@dataclass
+class SemDecl(Decl):
+    pat_name: str
+    body: Block
+
+
+@dataclass
+class GlobalVal(Decl):
+    name: str
+    init: Expr | None
+    type_name: str | None = None
+
+
+@dataclass
+class FunDecl(Decl):
+    name: str
+    params: list[str]
+    body: Block
+
+
+@dataclass
+class ExternDecl(Decl):
+    name: str
+    arity: int
+
+
+@dataclass
+class Program(Node):
+    decls: list[Decl]
+
+    def functions(self) -> dict[str, FunDecl]:
+        return {d.name: d for d in self.decls if isinstance(d, FunDecl)}
+
+    def globals(self) -> dict[str, GlobalVal]:
+        return {d.name: d for d in self.decls if isinstance(d, GlobalVal)}

@@ -1,0 +1,81 @@
+"""The Facile compiler facade.
+
+``compile_source`` runs the whole pipeline of the paper's Figure 1/§4:
+
+    parse  →  semantic analysis  →  flattening/inlining  →
+    binding-time analysis  →  dynamic-result-test insertion  →
+    two-engine code generation
+
+and returns a :class:`~repro.facile.runtime.CompiledSimulator` ready to
+drive with :class:`~repro.facile.runtime.FastForwardEngine` (memoized)
+or :class:`~repro.facile.runtime.PlainEngine` (conventional).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .bta import Division, analyze_binding_times, insert_dynamic_result_tests
+from .codegen import CodeGenerator
+from .inline import FlatMain, flatten_program
+from .optimize import fold_constants
+from .parser import parse
+from .runtime import CompiledSimulator
+from .sema import ProgramInfo, analyze
+
+
+@dataclass
+class CompilationResult:
+    """The compiled simulator plus every intermediate artifact, for
+    inspection by tests, benchmarks, and the curious."""
+
+    simulator: CompiledSimulator
+    info: ProgramInfo
+    flat: FlatMain
+    division: Division
+    n_dynamic_result_tests: int
+    n_constant_folds: int = 0
+
+
+def compile_source(
+    source: str,
+    name: str = "simulator",
+    filename: str = "<facile>",
+    with_plain: bool = True,
+    flush_policy: str = "all",
+    keep_flushed: tuple[str, ...] = ("init",),
+    coalesce: bool = True,
+    fold: bool = True,
+) -> CompilationResult:
+    """Compile Facile source text into a fast-forwarding simulator.
+
+    ``flush_policy="live"`` enables the paper's §6.3-item-3 liveness
+    optimization: dead rt-static globals are not flushed to shared
+    state at step boundaries (``keep_flushed`` names are always kept).
+    ``coalesce=False`` reverts to one action per dynamic statement
+    (Figure 8's one-statement-per-block granularity), used by the
+    ablation benchmarks.  ``fold`` controls compile-time constant
+    folding (§6.3 item 5).
+    """
+    program = parse(source, filename)
+    info = analyze(program)
+    flat = flatten_program(info)
+    n_folds = fold_constants(flat) if fold else 0
+    division = analyze_binding_times(flat)
+    n_tests = insert_dynamic_result_tests(flat, division)
+    generator = CodeGenerator(
+        division,
+        name=name,
+        flush_policy=flush_policy,
+        keep_flushed=keep_flushed,
+        coalesce=coalesce,
+    )
+    simulator = generator.build(with_plain=with_plain)
+    return CompilationResult(
+        simulator=simulator,
+        info=info,
+        flat=flat,
+        division=division,
+        n_dynamic_result_tests=n_tests,
+        n_constant_folds=n_folds,
+    )

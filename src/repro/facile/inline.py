@@ -1,0 +1,558 @@
+"""Flattening and inlining for Facile simulator step functions.
+
+Facile forbids recursion precisely so that inter-procedural analysis can
+be made trivial (paper §3.2).  This module exploits that: the entire
+step function is flattened into a single body before binding-time
+analysis runs.  Full inlining is also how the paper's compiler achieves
+*polyvariant division* — every call site gets its own copy of the
+callee, so each copy can receive its own binding-time labelling.
+
+Passes applied, in order, to (a copy of) each function body:
+
+1. **Pattern-switch expansion.**  ``s?exec()`` becomes a switch over the
+   pattern index of the instruction at stream position ``s``, with the
+   declared ``sem`` bodies inlined into the arms; user-written
+   ``switch (s) { pat name: ... }`` forms expand the same way.  Token
+   field names used inside the arms become pure bit-extraction
+   expressions on the fetched token word.
+
+2. **Side-effect lifting.**  Any sub-expression that can have an effect
+   (fun calls, extern calls, dynamic built-ins, queue mutations,
+   ``?verify``) is hoisted to its own ``val`` statement in evaluation
+   order, leaving every remaining expression pure.  Loop conditions with
+   lifted parts are normalized to ``while (true) { ...; if (!c) break; }``.
+
+3. **Call inlining.**  All calls to Facile functions are replaced by the
+   callee's (recursively flattened) body, with parameters bound to
+   argument temporaries and all locals alpha-renamed.
+
+4. **Return elimination.**  Early ``return`` is compiled away with a
+   done-flag + guarded-remainder transform, so the flat body is pure
+   structured control flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import ast_nodes as A
+from .builtins import BUILTIN_FUNCS, QUEUE_ATTRS
+from .sema import ProgramInfo
+from .source import SemanticError, SourceSpan
+
+
+@dataclass
+class FlatMain:
+    """The fully flattened simulator step function."""
+
+    params: list[str]
+    body: A.Block
+    info: ProgramInfo
+    local_names: list[str] = field(default_factory=list)
+
+
+class Flattener:
+    def __init__(self, info: ProgramInfo):
+        self.info = info
+        self.counter = 0
+        self.local_names: list[str] = []
+
+    # -- name generation -------------------------------------------------
+
+    def fresh(self, base: str) -> str:
+        self.counter += 1
+        name = f"{base}__{self.counter}"
+        self.local_names.append(name)
+        return name
+
+    # -- entry point -------------------------------------------------------
+
+    def flatten(self, fun_name: str = "main") -> FlatMain:
+        fun = self.info.functions.get(fun_name)
+        if fun is None:
+            raise SemanticError(f"no function named {fun_name!r}")
+        env: dict[str, A.Expr] = {}
+        params: list[str] = []
+        for p in fun.params:
+            unique = self.fresh(p)
+            env[p] = A.Name(unique)
+            params.append(unique)
+        body = self._flatten_body(fun.body, env)
+        body = _eliminate_returns(body, ret_var=None, flattener=self)
+        return FlatMain(params, body, self.info, self.local_names)
+
+    # -- body processing (rename + expand + lift + inline in one walk) -----
+
+    def _flatten_body(self, block: A.Block, env: dict[str, A.Expr]) -> A.Block:
+        out: list[A.Stmt] = []
+        inner_env = dict(env)
+        for stmt in block.stmts:
+            out.extend(self._flatten_stmt(stmt, inner_env))
+        return A.Block(out, span=block.span)
+
+    def _flatten_stmt(self, stmt: A.Stmt, env: dict[str, A.Expr]) -> list[A.Stmt]:
+        if isinstance(stmt, A.Block):
+            return [self._flatten_body(stmt, env)]
+
+        if isinstance(stmt, A.ValStmt):
+            pre: list[A.Stmt] = []
+            init = None
+            if stmt.init is not None:
+                init = self._flatten_expr(stmt.init, env, pre)
+            unique = self.fresh(stmt.name)
+            env[stmt.name] = A.Name(unique)
+            pre.append(A.ValStmt(unique, init, stmt.type_name, span=stmt.span))
+            return pre
+
+        if isinstance(stmt, A.Assign):
+            pre = []
+            value = self._flatten_expr(stmt.value, env, pre)
+            target = self._flatten_lvalue(stmt.target, env, pre)
+            pre.append(A.Assign(target, stmt.op, value, span=stmt.span))
+            return pre
+
+        if isinstance(stmt, A.ExprStmt):
+            pre = []
+            expr = self._flatten_expr(stmt.expr, env, pre, want_value=False)
+            if expr is not None:
+                pre.append(A.ExprStmt(expr, span=stmt.span))
+            return pre
+
+        if isinstance(stmt, A.If):
+            pre = []
+            cond = self._flatten_expr(stmt.cond, env, pre)
+            then_body = self._flatten_body(_as_block(stmt.then_body), dict(env))
+            else_body = (
+                self._flatten_body(_as_block(stmt.else_body), dict(env))
+                if stmt.else_body is not None
+                else None
+            )
+            pre.append(A.If(cond, then_body, else_body, span=stmt.span))
+            return pre
+
+        if isinstance(stmt, A.Switch):
+            return self._flatten_switch(stmt, env)
+
+        if isinstance(stmt, A.While):
+            pre = []
+            cond = self._flatten_expr(stmt.cond, env, pre)
+            body = self._flatten_body(_as_block(stmt.body), dict(env))
+            if not pre:
+                return [A.While(cond, body, span=stmt.span)]
+            # Condition had lifted side effects: re-evaluate them on
+            # every iteration inside a while(true) loop.
+            guard = A.If(
+                A.Unary("!", cond, span=stmt.span),
+                A.Block([A.Break(span=stmt.span)]),
+                None,
+                span=stmt.span,
+            )
+            loop_body = A.Block(pre + [guard] + body.stmts, span=stmt.span)
+            return [A.While(A.BoolLit(True, span=stmt.span), loop_body, span=stmt.span)]
+
+        if isinstance(stmt, A.DoWhile):
+            body = self._flatten_body(_as_block(stmt.body), dict(env))
+            pre = []
+            cond = self._flatten_expr(stmt.cond, env, pre)
+            guard = A.If(
+                A.Unary("!", cond, span=stmt.span),
+                A.Block([A.Break(span=stmt.span)]),
+                None,
+                span=stmt.span,
+            )
+            loop_body = A.Block(body.stmts + pre + [guard], span=stmt.span)
+            return [A.While(A.BoolLit(True, span=stmt.span), loop_body, span=stmt.span)]
+
+        if isinstance(stmt, A.For):
+            if _contains_continue(stmt.body):
+                raise SemanticError(
+                    "continue inside 'for' is not supported (use while)", stmt.span
+                )
+            loop_env = dict(env)
+            out: list[A.Stmt] = []
+            if stmt.init is not None:
+                out.extend(self._flatten_stmt(stmt.init, loop_env))
+            cond = stmt.cond if stmt.cond is not None else A.BoolLit(True, span=stmt.span)
+            pre: list[A.Stmt] = []
+            cond_flat = self._flatten_expr(cond, loop_env, pre)
+            body = self._flatten_body(_as_block(stmt.body), dict(loop_env))
+            step_stmts: list[A.Stmt] = []
+            if stmt.step is not None:
+                step_stmts = self._flatten_stmt(stmt.step, dict(loop_env))
+            if pre:
+                guard = A.If(
+                    A.Unary("!", cond_flat, span=stmt.span),
+                    A.Block([A.Break(span=stmt.span)]),
+                    None,
+                    span=stmt.span,
+                )
+                loop_body = A.Block(pre + [guard] + body.stmts + step_stmts, span=stmt.span)
+                out.append(A.While(A.BoolLit(True, span=stmt.span), loop_body, span=stmt.span))
+            else:
+                loop_body = A.Block(body.stmts + step_stmts, span=stmt.span)
+                out.append(A.While(cond_flat, loop_body, span=stmt.span))
+            return out
+
+        if isinstance(stmt, (A.Break, A.Continue, A.Return)):
+            if isinstance(stmt, A.Return) and stmt.value is not None:
+                pre = []
+                value = self._flatten_expr(stmt.value, env, pre)
+                pre.append(A.Return(value, span=stmt.span))
+                return pre
+            return [stmt]
+
+        raise SemanticError(f"unhandled statement {type(stmt).__name__}", stmt.span)
+
+    def _flatten_lvalue(self, target: A.Expr, env: dict[str, A.Expr], pre: list[A.Stmt]) -> A.Expr:
+        if isinstance(target, A.Name):
+            mapped = env.get(target.ident)
+            if mapped is not None:
+                if not isinstance(mapped, A.Name):
+                    raise SemanticError(
+                        f"cannot assign to {target.ident!r} (bound to an expression)",
+                        target.span,
+                    )
+                return A.Name(mapped.ident, span=target.span)
+            return target  # a global
+        if isinstance(target, A.Index):
+            base = self._flatten_lvalue(target.base, env, pre)
+            index = self._flatten_expr(target.index, env, pre)
+            return A.Index(base, index, span=target.span)
+        raise SemanticError("invalid assignment target", target.span)
+
+    # -- switch / exec expansion -------------------------------------------
+
+    def _flatten_switch(self, stmt: A.Switch, env: dict[str, A.Expr]) -> list[A.Stmt]:
+        has_pat = any(c.kind == "pat" for c in stmt.cases)
+        pre: list[A.Stmt] = []
+        scrutinee = self._flatten_expr(stmt.scrutinee, env, pre)
+        if not has_pat:
+            cases = []
+            for case in stmt.cases:
+                values = [self._flatten_expr(v, env, pre) for v in case.values]
+                body = self._flatten_body(case.body, dict(env))
+                cases.append(A.Case(case.kind, values, [], body, span=case.span))
+            pre.append(A.Switch(scrutinee, cases, span=stmt.span))
+            return pre
+        # Pattern dispatch: bind the stream position, fetch the token
+        # word, decode to a pattern index, then switch on the index.
+        return pre + self._expand_pat_dispatch(scrutinee, stmt.cases, env, stmt.span)
+
+    def _expand_pat_dispatch(
+        self,
+        stream: A.Expr,
+        cases: list[A.Case],
+        env: dict[str, A.Expr],
+        span: SourceSpan,
+    ) -> list[A.Stmt]:
+        out: list[A.Stmt] = []
+        s_var = self.fresh("_pc")
+        w_var = self.fresh("_word")
+        p_var = self.fresh("_patidx")
+        out.append(A.ValStmt(s_var, stream, span=span))
+        out.append(
+            A.ValStmt(w_var, A.Attr(A.Name(s_var), "word", [], span=span), span=span)
+        )
+        out.append(
+            A.ValStmt(p_var, A.Attr(A.Name(s_var), "decode", [], span=span), span=span)
+        )
+        int_cases: list[A.Case] = []
+        for case in cases:
+            if case.kind == "pat":
+                values = [
+                    A.IntLit(self.info.patterns.pattern_index(n), span=case.span)
+                    for n in case.pat_names
+                ]
+                token_width = self.info.patterns.token_width_for(case.pat_names)
+                arm_env = dict(env)
+                self._bind_fields(arm_env, case.pat_names[0], w_var)
+                body = self._flatten_body(case.body, arm_env)
+                int_cases.append(A.Case("int", values, [], body, span=case.span))
+                del token_width  # widths are validated; decode uses token metadata
+            elif case.kind == "default":
+                body = self._flatten_body(case.body, dict(env))
+                int_cases.append(A.Case("default", [], [], body, span=case.span))
+            else:
+                raise SemanticError("cannot mix pat and case arms in one switch", case.span)
+        out.append(A.Switch(A.Name(p_var), int_cases, span=span))
+        return out
+
+    def _bind_fields(self, env: dict[str, A.Expr], pat_name: str, w_var: str) -> None:
+        """Map field names to bit extractions on the fetched token word."""
+        token = self.info.patterns.by_name[pat_name].token
+        for fld in self.info.patterns.fields.values():
+            if fld.token == token:
+                env[fld.name] = A.Attr(
+                    A.Name(w_var),
+                    "bits",
+                    [A.IntLit(fld.lo), A.IntLit(fld.hi)],
+                )
+
+    def _expand_exec(self, stream: A.Expr, env: dict[str, A.Expr], span: SourceSpan) -> list[A.Stmt]:
+        """``s?exec()`` == pattern switch over all sems + trap default."""
+        cases: list[A.Case] = []
+        for pat_name, sem in self.info.sems.items():
+            cases.append(A.Case("pat", [], [pat_name], sem.body, span=sem.span))
+        trap = A.Block(
+            [
+                A.ExprStmt(
+                    A.Call("halt", [], span=span),
+                    span=span,
+                )
+            ],
+            span=span,
+        )
+        cases.append(A.Case("default", [], [], trap, span=span))
+        return self._expand_pat_dispatch(stream, cases, env, span)
+
+    # -- expression flattening (rename, lift side effects, inline calls) ----
+
+    def _flatten_expr(
+        self,
+        expr: A.Expr,
+        env: dict[str, A.Expr],
+        pre: list[A.Stmt],
+        want_value: bool = True,
+    ) -> A.Expr | None:
+        """Return a pure expression equivalent to `expr`.
+
+        Side-effecting parts are appended to `pre` as statements.  When
+        `want_value` is False and the whole expression is a side effect
+        (e.g. a void call), returns None.
+        """
+        if isinstance(expr, (A.IntLit, A.BoolLit, A.StrLit, A.QueueNew)):
+            return expr
+        if isinstance(expr, A.Name):
+            mapped = env.get(expr.ident)
+            if mapped is not None:
+                return _clone_expr(mapped, expr.span)
+            return expr  # global or (checked) field handled via env
+        if isinstance(expr, A.Unary):
+            return A.Unary(expr.op, self._flatten_expr(expr.operand, env, pre), span=expr.span)
+        if isinstance(expr, A.Binary):
+            left = self._flatten_expr(expr.left, env, pre)
+            right = self._flatten_expr(expr.right, env, pre)
+            return A.Binary(expr.op, left, right, span=expr.span)
+        if isinstance(expr, A.Index):
+            base = self._flatten_expr(expr.base, env, pre)
+            index = self._flatten_expr(expr.index, env, pre)
+            return A.Index(base, index, span=expr.span)
+        if isinstance(expr, A.ArrayNew):
+            size = self._flatten_expr(expr.size, env, pre)
+            init = self._flatten_expr(expr.init, env, pre)
+            return A.ArrayNew(size, init, span=expr.span)
+        if isinstance(expr, A.TupleLit):
+            items = [self._flatten_expr(i, env, pre) for i in expr.items]
+            return A.TupleLit(items, span=expr.span)
+        if isinstance(expr, A.Call):
+            return self._flatten_call(expr, env, pre, want_value)
+        if isinstance(expr, A.Attr):
+            return self._flatten_attr(expr, env, pre, want_value)
+        raise SemanticError(f"unhandled expression {type(expr).__name__}", expr.span)
+
+    def _flatten_call(
+        self, expr: A.Call, env: dict[str, A.Expr], pre: list[A.Stmt], want_value: bool
+    ) -> A.Expr | None:
+        args = [self._flatten_expr(a, env, pre) for a in expr.args]
+        name = expr.func
+        if name in self.info.functions:
+            return self._inline_call(name, args, env, pre, want_value, expr.span)
+        if name in self.info.externs or (
+            name in BUILTIN_FUNCS and BUILTIN_FUNCS[name].bt_class == "dynamic"
+        ):
+            call = A.Call(name, args, span=expr.span)
+            returns_value = name in self.info.externs or BUILTIN_FUNCS[name].returns_value
+            if not want_value or not returns_value:
+                pre.append(A.ExprStmt(call, span=expr.span))
+                return None if not want_value else A.IntLit(0, span=expr.span)
+            tmp = self.fresh("_t")
+            pre.append(A.ValStmt(tmp, call, span=expr.span))
+            return A.Name(tmp, span=expr.span)
+        # Pure builtin: stays inline.
+        return A.Call(name, args, span=expr.span)
+
+    def _inline_call(
+        self,
+        name: str,
+        args: list[A.Expr],
+        env: dict[str, A.Expr],
+        pre: list[A.Stmt],
+        want_value: bool,
+        span: SourceSpan,
+    ) -> A.Expr | None:
+        fun = self.info.functions[name]
+        callee_env: dict[str, A.Expr] = {}
+        for param, arg in zip(fun.params, args):
+            tmp = self.fresh(param)
+            pre.append(A.ValStmt(tmp, arg, span=span))
+            callee_env[param] = A.Name(tmp)
+        body = self._flatten_body(fun.body, callee_env)
+        ret_var = self.fresh("_ret") if _contains_value_return(body) else None
+        if ret_var is not None:
+            pre.append(A.ValStmt(ret_var, A.IntLit(0, span=span), span=span))
+        body = _eliminate_returns(body, ret_var=ret_var, flattener=self)
+        pre.append(body)
+        if not want_value:
+            return None
+        if ret_var is None:
+            return A.IntLit(0, span=span)
+        return A.Name(ret_var, span=span)
+
+    def _flatten_attr(
+        self, expr: A.Attr, env: dict[str, A.Expr], pre: list[A.Stmt], want_value: bool
+    ) -> A.Expr | None:
+        name = expr.name
+        if name == "exec":
+            base = self._flatten_expr(expr.base, env, pre)
+            pre.extend(self._expand_exec(base, env, expr.span))
+            return None if not want_value else A.IntLit(0, span=expr.span)
+        base = self._flatten_expr(expr.base, env, pre)
+        args = [self._flatten_expr(a, env, pre) for a in expr.args]
+        attr = A.Attr(base, name, args, expr.has_parens, span=expr.span)
+        if name == "verify" or (name in QUEUE_ATTRS and QUEUE_ATTRS[name][1]):
+            # Side-effecting (queue mutation) or compiler-special (verify):
+            # lift to statement level.
+            if not want_value:
+                pre.append(A.ExprStmt(attr, span=expr.span))
+                return None
+            tmp = self.fresh("_t")
+            pre.append(A.ValStmt(tmp, attr, span=expr.span))
+            return A.Name(tmp, span=expr.span)
+        return attr
+
+
+# -- return elimination ------------------------------------------------------
+
+
+def _eliminate_returns(body: A.Block, ret_var: str | None, flattener: Flattener) -> A.Block:
+    """Compile away ``return`` with a done-flag transform.
+
+    Statements following a statement that *may* return are wrapped in
+    ``if (done == 0) { ... }``; a return inside a loop additionally
+    breaks out, and enclosing loops re-check the flag right after each
+    inner loop.
+    """
+    if not _contains_return(body):
+        return body
+    done = flattener.fresh("_done")
+    new_body = _rewrite_returns(body, done, ret_var, in_loop=False)
+    stmts = [A.ValStmt(done, A.IntLit(0))] + new_body.stmts
+    return A.Block(stmts, span=body.span)
+
+
+def _rewrite_returns(block: A.Block, done: str, ret_var: str | None, in_loop: bool) -> A.Block:
+    out: list[A.Stmt] = []
+    rest = list(block.stmts)
+    while rest:
+        stmt = rest.pop(0)
+        if isinstance(stmt, A.Return):
+            if stmt.value is not None and ret_var is not None:
+                out.append(A.Assign(A.Name(ret_var), "=", stmt.value, span=stmt.span))
+            out.append(A.Assign(A.Name(done), "=", A.IntLit(1), span=stmt.span))
+            if in_loop:
+                out.append(A.Break(span=stmt.span))
+            break  # everything after an unconditional return is dead
+        may_return = _contains_return(stmt)
+        out.append(_rewrite_stmt_returns(stmt, done, ret_var, in_loop))
+        if may_return and rest:
+            remainder = _rewrite_returns(A.Block(rest, span=block.span), done, ret_var, in_loop)
+            out.append(
+                A.If(
+                    A.Binary("==", A.Name(done), A.IntLit(0)),
+                    remainder,
+                    None,
+                    span=block.span,
+                )
+            )
+            rest = []
+    return A.Block(out, span=block.span)
+
+
+def _rewrite_stmt_returns(stmt: A.Stmt, done: str, ret_var: str | None, in_loop: bool) -> A.Stmt:
+    if not _contains_return(stmt):
+        return stmt
+    if isinstance(stmt, A.Block):
+        return _rewrite_returns(stmt, done, ret_var, in_loop)
+    if isinstance(stmt, A.If):
+        then_body = _rewrite_stmt_returns(stmt.then_body, done, ret_var, in_loop)
+        else_body = (
+            _rewrite_stmt_returns(stmt.else_body, done, ret_var, in_loop)
+            if stmt.else_body is not None
+            else None
+        )
+        return A.If(stmt.cond, then_body, else_body, span=stmt.span)
+    if isinstance(stmt, A.Switch):
+        cases = [
+            A.Case(
+                c.kind,
+                c.values,
+                c.pat_names,
+                _rewrite_returns(c.body, done, ret_var, in_loop),
+                span=c.span,
+            )
+            for c in stmt.cases
+        ]
+        return A.Switch(stmt.scrutinee, cases, span=stmt.span)
+    if isinstance(stmt, A.While):
+        inner = _rewrite_stmt_returns(stmt.body, done, ret_var, in_loop=True)
+        check = A.If(
+            A.Binary("!=", A.Name(done), A.IntLit(0)),
+            A.Block([A.Break(span=stmt.span)]) if in_loop else A.Block([]),
+            None,
+            span=stmt.span,
+        )
+        # After the loop: if we are ourselves inside a loop, propagate the
+        # break; at top level the guarded-remainder wrapping in
+        # _rewrite_returns handles the rest.
+        if in_loop:
+            return A.Block([A.While(stmt.cond, _as_block(inner), span=stmt.span), check])
+        return A.While(stmt.cond, _as_block(inner), span=stmt.span)
+    raise SemanticError(f"return inside unsupported construct {type(stmt).__name__}", stmt.span)
+
+
+# -- small tree utilities -----------------------------------------------------
+
+
+def _as_block(stmt: A.Stmt) -> A.Block:
+    return stmt if isinstance(stmt, A.Block) else A.Block([stmt], span=stmt.span)
+
+
+def _clone_expr(expr: A.Expr, span: SourceSpan) -> A.Expr:
+    if isinstance(expr, A.Name):
+        return A.Name(expr.ident, span=span)
+    return expr  # field substitutions are shared, pure templates
+
+
+def _contains_return(node: A.Node) -> bool:
+    return _any_node(node, A.Return)
+
+
+def _contains_value_return(node: A.Node) -> bool:
+    for child in _iter_nodes(node):
+        if isinstance(child, A.Return) and child.value is not None:
+            return True
+    return False
+
+
+def _contains_continue(node: A.Node) -> bool:
+    return _any_node(node, A.Continue)
+
+
+def _any_node(node: A.Node, cls: type) -> bool:
+    return any(isinstance(child, cls) for child in _iter_nodes(node))
+
+
+def _iter_nodes(node: A.Node):
+    yield node
+    for value in vars(node).values():
+        if isinstance(value, A.Node):
+            yield from _iter_nodes(value)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, A.Node):
+                    yield from _iter_nodes(item)
+
+
+def flatten_program(info: ProgramInfo, fun_name: str = "main") -> FlatMain:
+    """Flatten `fun_name` (default: the step function) into one body."""
+    return Flattener(info).flatten(fun_name)

@@ -1,0 +1,166 @@
+"""Introspection helpers: explain what the compiler and the action
+cache did.
+
+These are the tools you reach for when a simulator is slower than
+expected ("why is this variable dynamic?") or when validating that the
+specialized action cache looks like the paper's Figure 2/3 — entries
+keyed by run-time static state, linked actions, per-value successor
+chains at dynamic result tests.
+"""
+
+from __future__ import annotations
+
+from .bta import DYNAMIC
+from .compiler import CompilationResult
+from .runtime import ActionCache, CacheEntry
+
+
+def explain_division(result: CompilationResult) -> str:
+    """Human-readable binding-time report for a compiled simulator."""
+    division = result.division
+    lines = [f"binding-time division for {result.simulator.name!r}"]
+    lines.append(f"  step-function parameters (rt-static keys): {len(result.flat.params)}")
+    lines.append(f"  dynamic result tests inserted: {result.n_dynamic_result_tests}")
+    lines.append(f"  constant folds: {result.n_constant_folds}")
+
+    globals_ = sorted(result.info.globals)
+    dynamic_globals = [g for g in globals_ if division.var_bt(g) == DYNAMIC]
+    constants = [g for g in globals_ if g not in division.assigned_globals]
+    local_like = sorted(division.local_like_globals)
+    lines.append(f"  dynamic globals:   {', '.join(dynamic_globals) or '(none)'}")
+    lines.append(f"  program constants: {', '.join(constants) or '(none)'}")
+    lines.append(f"  local-like (rt-static) globals: {', '.join(local_like) or '(none)'}")
+    lines.append(f"  flushed at step end: {', '.join(division.flush_globals) or '(none)'}")
+
+    dynamic_locals = sorted(
+        name
+        for name, bt in division.bt.items()
+        if bt == DYNAMIC and name not in result.info.globals
+    )
+    lines.append(f"  dynamic locals (shared slots): {len(dynamic_locals)}")
+    for name in dynamic_locals[:20]:
+        lines.append(f"    {name}: {division.var_shape(name)}")
+    if len(dynamic_locals) > 20:
+        lines.append(f"    ... and {len(dynamic_locals) - 20} more")
+    summary = result.simulator.division_summary
+    lines.append(
+        f"  generated actions: {summary['n_actions']} "
+        f"({summary['n_verify_actions']} dynamic result tests)"
+    )
+    return "\n".join(lines)
+
+
+def dump_entry(entry: CacheEntry, max_depth: int = 200) -> str:
+    """Render one specialized-action-cache entry as a tree (Figure 3)."""
+    lines = [f"entry key={_short(entry.key)} complete={entry.complete}"]
+    _dump_chain(entry.first, lines, indent=1, budget=[max_depth])
+    return "\n".join(lines)
+
+
+def _dump_chain(rec, lines: list[str], indent: int, budget: list[int]) -> None:
+    pad = "  " * indent
+    while rec is not None and budget[0] > 0:
+        budget[0] -= 1
+        if rec.is_end:
+            lines.append(f"{pad}END")
+            return
+        if rec.is_verify:
+            lines.append(f"{pad}verify action {rec.num} data={_short(rec.data)}")
+            for value, succ in rec.succ.items():
+                lines.append(f"{pad}  result {value!r} ->")
+                _dump_chain(succ, lines, indent + 2, budget)
+            return
+        lines.append(f"{pad}action {rec.num} data={_short(rec.data)}")
+        rec = rec.next
+    if budget[0] <= 0:
+        lines.append(f"{pad}... (truncated)")
+
+
+def cache_summary(cache: ActionCache) -> str:
+    """Aggregate statistics plus a path-shape census of the cache."""
+    stats = cache.stats
+    n_forks = 0
+    n_records = 0
+    max_succ = 0
+    for entry in cache.entries.values():
+        for rec in _walk_records(entry):
+            n_records += 1
+            if rec.is_verify:
+                n_forks += 1
+                max_succ = max(max_succ, len(rec.succ))
+    lines = [
+        "specialized action cache",
+        f"  entries:          {len(cache.entries)} live "
+        f"({stats.entries_created} created, {stats.clears} clears)",
+        f"  records walked:   {n_records} "
+        f"({n_forks} dynamic result tests, widest fork {max_succ})",
+        f"  bytes:            {stats.bytes_current:,} current, "
+        f"{stats.bytes_cumulative:,} cumulative",
+        f"  lookups:          {stats.lookups:,} "
+        f"({stats.hits:,} hits, {stats.misses_new_key:,} new keys, "
+        f"{stats.misses_verify:,} verify misses)",
+    ]
+    return "\n".join(lines)
+
+
+def _walk_records(entry: CacheEntry):
+    seen = set()
+    stack = [entry.first]
+    while stack:
+        rec = stack.pop()
+        if rec is None or id(rec) in seen:
+            continue
+        seen.add(id(rec))
+        if rec.is_end:
+            continue
+        yield rec
+        if rec.is_verify:
+            stack.extend(rec.succ.values())
+        else:
+            stack.append(rec.next)
+
+
+def hot_actions(engine, result: CompilationResult, top: int = 10) -> str:
+    """Rank actions by fast-engine execution count.
+
+    Requires ``engine.profile()`` to have been enabled before the run.
+    Each row shows the action's replay count and its generated code, so
+    the costliest dynamic basic blocks are immediately visible.
+    """
+    profile = engine.action_profile
+    if profile is None:
+        return "profiling was not enabled (call engine.profile() before run)"
+    bodies = _action_bodies(result.simulator.source_fast)
+    total = sum(profile.values()) or 1
+    lines = [f"hot actions ({total:,} replays total)"]
+    ranked = sorted(profile.items(), key=lambda kv: -kv[1])[:top]
+    for num, count in ranked:
+        body = bodies.get(num, ["<unknown>"])
+        head = body[0] if body else ""
+        lines.append(
+            f"  action {num:>4}: {count:>10,} ({100 * count / total:5.1f}%)  {head.strip()}"
+        )
+        for extra in body[1:3]:
+            lines.append(" " * 34 + extra.strip())
+    return "\n".join(lines)
+
+
+def _action_bodies(fast_source: str) -> dict[int, list[str]]:
+    """Map action number -> generated body lines, parsed from the fast
+    engine's source text."""
+    bodies: dict[int, list[str]] = {}
+    current: int | None = None
+    for line in fast_source.splitlines():
+        if line.startswith("def _a"):
+            current = int(line[len("def _a"): line.index("(")])
+            bodies[current] = []
+        elif current is not None and line.startswith("    ") and "= _data" not in line:
+            bodies[current].append(line)
+        elif not line.strip():
+            current = None
+    return bodies
+
+
+def _short(value, limit: int = 60) -> str:
+    text = repr(value)
+    return text if len(text) <= limit else text[: limit - 3] + "..."

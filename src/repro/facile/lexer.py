@@ -1,0 +1,186 @@
+"""Tokenizer for the Facile language.
+
+The lexical grammar follows the paper's examples (Figures 4-7): C-like
+operators, `//` line comments, `/* */` block comments, decimal and
+hexadecimal integers, identifiers that may contain `.` is *not* allowed
+(dots appear only in the paper's benchmark names), and the attribute
+sigil `?` used by expressions such as ``imm?sext(32)`` and ``PC?exec()``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .source import LexError, SourceBuffer, SourceSpan
+
+
+class TokKind(enum.Enum):
+    IDENT = "ident"
+    INT = "int"
+    STRING = "string"
+    PUNCT = "punct"
+    KEYWORD = "keyword"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "token",
+        "fields",
+        "pat",
+        "sem",
+        "val",
+        "fun",
+        "extern",
+        "if",
+        "else",
+        "switch",
+        "case",
+        "default",
+        "while",
+        "do",
+        "for",
+        "break",
+        "continue",
+        "return",
+        "array",
+        "queue",
+        "true",
+        "false",
+    }
+)
+
+# Multi-character punctuation, longest first so maximal munch works.
+_PUNCTS = [
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+    ":",
+    "?",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str
+    value: int | str | None
+    span: SourceSpan
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.text!r})"
+
+
+def tokenize(source: SourceBuffer) -> list[Token]:
+    """Tokenize an entire buffer, returning a list ending with an EOF token."""
+    text = source.text
+    n = len(text)
+    pos = 0
+    out: list[Token] = []
+
+    def err(msg: str, start: int, end: int) -> LexError:
+        return LexError(msg, source.span(start, end))
+
+    while pos < n:
+        ch = text[pos]
+        if ch in " \t\r\n":
+            pos += 1
+            continue
+        if text.startswith("//", pos):
+            nl = text.find("\n", pos)
+            pos = n if nl < 0 else nl + 1
+            continue
+        if text.startswith("/*", pos):
+            close = text.find("*/", pos + 2)
+            if close < 0:
+                raise err("unterminated block comment", pos, n)
+            pos = close + 2
+            continue
+        start = pos
+        if ch.isalpha() or ch == "_":
+            while pos < n and (text[pos].isalnum() or text[pos] == "_"):
+                pos += 1
+            word = text[start:pos]
+            kind = TokKind.KEYWORD if word in KEYWORDS else TokKind.IDENT
+            out.append(Token(kind, word, word, source.span(start, pos)))
+            continue
+        if ch.isdigit():
+            if text.startswith("0x", pos) or text.startswith("0X", pos):
+                pos += 2
+                digits = pos
+                while pos < n and text[pos] in "0123456789abcdefABCDEF":
+                    pos += 1
+                if pos == digits:
+                    raise err("hexadecimal literal has no digits", start, pos)
+                value = int(text[start:pos], 16)
+            else:
+                while pos < n and text[pos].isdigit():
+                    pos += 1
+                value = int(text[start:pos])
+            if pos < n and (text[pos].isalpha() or text[pos] == "_"):
+                raise err("identifier characters after number", start, pos + 1)
+            out.append(Token(TokKind.INT, text[start:pos], value, source.span(start, pos)))
+            continue
+        if ch == '"':
+            pos += 1
+            chunk: list[str] = []
+            while pos < n and text[pos] != '"':
+                if text[pos] == "\\" and pos + 1 < n:
+                    esc = text[pos + 1]
+                    chunk.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(esc, esc))
+                    pos += 2
+                else:
+                    chunk.append(text[pos])
+                    pos += 1
+            if pos >= n:
+                raise err("unterminated string literal", start, n)
+            pos += 1
+            out.append(Token(TokKind.STRING, text[start:pos], "".join(chunk), source.span(start, pos)))
+            continue
+        for punct in _PUNCTS:
+            if text.startswith(punct, pos):
+                pos += len(punct)
+                out.append(Token(TokKind.PUNCT, punct, punct, source.span(start, pos)))
+                break
+        else:
+            raise err(f"unexpected character {ch!r}", start, start + 1)
+
+    out.append(Token(TokKind.EOF, "", None, source.span(n, n)))
+    return out

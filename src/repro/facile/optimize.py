@@ -1,0 +1,318 @@
+"""Compile-time optimizations on the flattened step function.
+
+The paper's §6.3 item 5: "Although our binding-time analysis currently
+detects static, run-time static and dynamic code and data, it does not
+perform partial evaluation at compile time ... constant folding and
+similar optimizations may benefit both the slow and fast simulators.
+The analysis is already in place, making these optimizations a
+worthwhile addition to the compiler."
+
+This module adds that worthwhile addition:
+
+* **constant folding** — pure expressions whose operands are literals
+  evaluate at compile time, using exactly the semantics code generation
+  emits (wrap-around helpers, C-style division);
+* **branch pruning** — ``if``/``while``/``switch`` with a constant
+  condition keep only the reachable arm;
+* **algebraic identities** — ``x + 0``, ``x * 1``, ``x * 0``,
+  ``x & 0``, ``x | 0``, ``x << 0`` and friends.
+
+Full inlining creates many such opportunities (literal arguments bound
+to parameter temporaries, the return-elimination done-flags), so the
+pass runs to a fixed point.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as A
+from .builtins import (
+    bit,
+    bits,
+    cc_add,
+    cc_branch_taken,
+    cc_logic,
+    cc_sub,
+    popcount,
+    select,
+    sext,
+    s32,
+    u32,
+    udiv32,
+    umul32,
+    zext,
+)
+from .inline import FlatMain
+
+_PURE_FUNCS = {
+    "min": min,
+    "max": max,
+    "abs": abs,
+    "popcount": popcount,
+    "cc_add": cc_add,
+    "cc_sub": cc_sub,
+    "cc_logic": cc_logic,
+    "cc_branch_taken": lambda c, cc: 1 if cc_branch_taken(c, cc) else 0,
+    "udiv32": udiv32,
+    "umul32": umul32,
+    "select": select,
+}
+
+
+def _idiv(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _literal(expr: A.Expr) -> int | None:
+    if isinstance(expr, A.IntLit):
+        return expr.value
+    if isinstance(expr, A.BoolLit):
+        return 1 if expr.value else 0
+    return None
+
+
+def _lit(value, span) -> A.Expr:
+    if isinstance(value, bool):
+        return A.IntLit(1 if value else 0, span=span)
+    return A.IntLit(int(value), span=span)
+
+
+class ConstantFolder:
+    """One folding pass; `changed` records whether anything happened."""
+
+    def __init__(self) -> None:
+        self.changed = False
+        self.folds = 0
+
+    # -- expressions ---------------------------------------------------------
+
+    def expr(self, e: A.Expr) -> A.Expr:
+        if isinstance(e, (A.IntLit, A.BoolLit, A.StrLit, A.Name, A.QueueNew)):
+            return e
+        if isinstance(e, A.Unary):
+            operand = self.expr(e.operand)
+            v = _literal(operand)
+            if v is not None:
+                self._note()
+                if e.op == "-":
+                    return _lit(-v, e.span)
+                if e.op == "~":
+                    return _lit(~v, e.span)
+                return _lit(0 if v else 1, e.span)
+            return A.Unary(e.op, operand, span=e.span)
+        if isinstance(e, A.Binary):
+            return self._binary(e)
+        if isinstance(e, A.Index):
+            return A.Index(self.expr(e.base), self.expr(e.index), span=e.span)
+        if isinstance(e, A.ArrayNew):
+            return A.ArrayNew(self.expr(e.size), self.expr(e.init), span=e.span)
+        if isinstance(e, A.TupleLit):
+            return A.TupleLit([self.expr(i) for i in e.items], span=e.span)
+        if isinstance(e, A.Call):
+            args = [self.expr(a) for a in e.args]
+            fn = _PURE_FUNCS.get(e.func)
+            values = [_literal(a) for a in args]
+            if fn is not None and all(v is not None for v in values):
+                self._note()
+                return _lit(fn(*values), e.span)
+            return A.Call(e.func, args, span=e.span)
+        if isinstance(e, A.Attr):
+            return self._attr(e)
+        return e
+
+    def _binary(self, e: A.Binary) -> A.Expr:
+        left = self.expr(e.left)
+        right = self.expr(e.right)
+        lv, rv = _literal(left), _literal(right)
+        if lv is not None and rv is not None:
+            folded = self._eval_binary(e.op, lv, rv)
+            if folded is not None:
+                self._note()
+                return _lit(folded, e.span)
+        # Algebraic identities with one literal side.
+        if rv == 0 and e.op in ("+", "-", "|", "^", "<<", ">>"):
+            self._note()
+            return left
+        if lv == 0 and e.op in ("+", "|", "^"):
+            self._note()
+            return right
+        if (rv == 0 and e.op in ("*", "&")) or (lv == 0 and e.op in ("*", "&")):
+            self._note()
+            return _lit(0, e.span)
+        if rv == 1 and e.op == "*":
+            self._note()
+            return left
+        if lv == 1 and e.op == "*":
+            self._note()
+            return right
+        if rv == 1 and e.op == "&&":
+            self._note()
+            return A.Unary("!", A.Unary("!", left, span=e.span), span=e.span)
+        if lv is not None and e.op == "&&":
+            self._note()
+            if lv == 0:
+                return _lit(0, e.span)
+            return A.Unary("!", A.Unary("!", right, span=e.span), span=e.span)
+        if lv is not None and e.op == "||" and lv != 0:
+            self._note()
+            return _lit(1, e.span)
+        if lv == 0 and e.op == "||":
+            self._note()
+            return A.Unary("!", A.Unary("!", right, span=e.span), span=e.span)
+        return A.Binary(e.op, left, right, span=e.span)
+
+    @staticmethod
+    def _eval_binary(op: str, a: int, b: int):
+        try:
+            if op == "+":
+                return a + b
+            if op == "-":
+                return a - b
+            if op == "*":
+                return a * b
+            if op == "/":
+                return _idiv(a, b)
+            if op == "%":
+                return a - _idiv(a, b) * b
+            if op == "&":
+                return a & b
+            if op == "|":
+                return a | b
+            if op == "^":
+                return a ^ b
+            if op == "<<":
+                return a << b if 0 <= b < 64 else None
+            if op == ">>":
+                return a >> b if b >= 0 else None
+            if op == "==":
+                return 1 if a == b else 0
+            if op == "!=":
+                return 1 if a != b else 0
+            if op == "<":
+                return 1 if a < b else 0
+            if op == "<=":
+                return 1 if a <= b else 0
+            if op == ">":
+                return 1 if a > b else 0
+            if op == ">=":
+                return 1 if a >= b else 0
+            if op == "&&":
+                return 1 if (a and b) else 0
+            if op == "||":
+                return 1 if (a or b) else 0
+        except ZeroDivisionError:
+            return None
+        return None
+
+    _PURE_ATTRS = {
+        "sext": lambda v, n: sext(v, n),
+        "zext": lambda v, n: zext(v, n),
+        "bit": lambda v, i: bit(v, i),
+        "bits": lambda v, lo, hi: bits(v, lo, hi),
+    }
+
+    def _attr(self, e: A.Attr) -> A.Expr:
+        base = self.expr(e.base)
+        args = [self.expr(a) for a in e.args]
+        bv = _literal(base)
+        avs = [_literal(a) for a in args]
+        if bv is not None and all(v is not None for v in avs):
+            if e.name in self._PURE_ATTRS:
+                self._note()
+                return _lit(self._PURE_ATTRS[e.name](bv, *avs), e.span)
+            if e.name == "u32":
+                self._note()
+                return _lit(u32(bv), e.span)
+            if e.name == "s32":
+                self._note()
+                return _lit(s32(bv), e.span)
+        return A.Attr(base, e.name, args, e.has_parens, span=e.span)
+
+    def _note(self) -> None:
+        self.changed = True
+        self.folds += 1
+
+    # -- statements -----------------------------------------------------------
+
+    def block(self, b: A.Block) -> A.Block:
+        out: list[A.Stmt] = []
+        for stmt in b.stmts:
+            out.extend(self.stmt(stmt))
+        return A.Block(out, span=b.span)
+
+    def stmt(self, s: A.Stmt) -> list[A.Stmt]:
+        if isinstance(s, A.Block):
+            return [self.block(s)]
+        if isinstance(s, A.ValStmt):
+            init = self.expr(s.init) if s.init is not None else None
+            return [A.ValStmt(s.name, init, s.type_name, span=s.span)]
+        if isinstance(s, A.Assign):
+            target = s.target
+            if isinstance(target, A.Index):
+                target = A.Index(self.expr(target.base), self.expr(target.index), span=target.span)
+            return [A.Assign(target, s.op, self.expr(s.value), span=s.span)]
+        if isinstance(s, A.ExprStmt):
+            return [A.ExprStmt(self.expr(s.expr), span=s.span)]
+        if isinstance(s, A.If):
+            cond = self.expr(s.cond)
+            cv = _literal(cond)
+            if cv is not None:
+                self._note()
+                chosen = s.then_body if cv else s.else_body
+                if chosen is None:
+                    return []
+                folded = self.stmt(chosen)
+                # Splice a bare block's contents (preserves break/continue
+                # semantics: blocks are not scopes for control flow).
+                if len(folded) == 1 and isinstance(folded[0], A.Block):
+                    return folded[0].stmts
+                return folded
+            then_body = self.block(_as_block(s.then_body))
+            else_body = self.block(_as_block(s.else_body)) if s.else_body is not None else None
+            if else_body is not None and not else_body.stmts:
+                else_body = None
+            return [A.If(cond, then_body, else_body, span=s.span)]
+        if isinstance(s, A.Switch):
+            scrutinee = self.expr(s.scrutinee)
+            sv = _literal(scrutinee)
+            cases = [
+                A.Case(c.kind, [self.expr(v) for v in c.values], c.pat_names,
+                       self.block(c.body), span=c.span)
+                for c in s.cases
+            ]
+            if sv is not None and all(
+                all(_literal(v) is not None for v in c.values) for c in cases if c.kind == "int"
+            ):
+                self._note()
+                default = None
+                for c in cases:
+                    if c.kind == "default":
+                        default = c
+                    elif any(_literal(v) == sv for v in c.values):
+                        return list(c.body.stmts)
+                return list(default.body.stmts) if default is not None else []
+            return [A.Switch(scrutinee, cases, span=s.span)]
+        if isinstance(s, A.While):
+            cond = self.expr(s.cond)
+            cv = _literal(cond)
+            if cv == 0:
+                self._note()
+                return []
+            return [A.While(cond, self.block(_as_block(s.body)), span=s.span)]
+        return [s]
+
+
+def _as_block(s: A.Stmt) -> A.Block:
+    return s if isinstance(s, A.Block) else A.Block([s], span=s.span)
+
+
+def fold_constants(flat: FlatMain, max_passes: int = 8) -> int:
+    """Fold the flat body to a fixed point; returns total folds."""
+    total = 0
+    for _ in range(max_passes):
+        folder = ConstantFolder()
+        flat.body = folder.block(flat.body)
+        total += folder.folds
+        if not folder.changed:
+            break
+    return total

@@ -1,0 +1,443 @@
+"""Recursive-descent parser for Facile.
+
+The grammar follows the paper's figures:
+
+* ``token NAME[WIDTH] fields f LO:HI, ... ;`` — instruction token layout
+  (Figure 4);
+* ``pat NAME = <field constraints>;`` — instruction encodings as boolean
+  constraints over fields, composable with ``&&``/``||`` and references
+  to other pattern names (Figure 4);
+* ``sem NAME { ... };`` — instruction semantics attached to a pattern
+  (Figure 5);
+* ``val``/``fun``/``extern`` declarations and a C-like statement and
+  expression language (Figures 6, 7), including the ``?attr`` postfix
+  form (``imm?sext(32)``, ``PC?exec()``) and ``switch (pc) { pat add:
+  ... }`` pattern dispatch.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as A
+from .lexer import Token, TokKind, tokenize
+from .source import ParseError, SourceBuffer
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+# Binary operator precedence, loosest binding first.
+_BINARY_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    """Parses a token list produced by :func:`repro.facile.lexer.tokenize`."""
+
+    def __init__(self, source: SourceBuffer):
+        self.source = source
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokKind.EOF:
+            self.pos += 1
+        return tok
+
+    def _check(self, text: str) -> bool:
+        return self.cur.text == text and self.cur.kind in (TokKind.PUNCT, TokKind.KEYWORD)
+
+    def _accept(self, text: str) -> bool:
+        if self._check(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, text: str) -> Token:
+        if not self._check(text):
+            raise ParseError(f"expected {text!r}, found {self.cur.text!r}", self.cur.span)
+        return self._advance()
+
+    def _ident(self) -> str:
+        if self.cur.kind is not TokKind.IDENT:
+            raise ParseError(f"expected identifier, found {self.cur.text!r}", self.cur.span)
+        return self._advance().text
+
+    def _int(self) -> int:
+        if self.cur.kind is not TokKind.INT:
+            raise ParseError(f"expected integer, found {self.cur.text!r}", self.cur.span)
+        return self._advance().value  # type: ignore[return-value]
+
+    # -- program ------------------------------------------------------
+
+    def parse_program(self) -> A.Program:
+        decls: list[A.Decl] = []
+        start = self.cur.span
+        while self.cur.kind is not TokKind.EOF:
+            decls.append(self._declaration())
+        return A.Program(decls, span=start)
+
+    def _declaration(self) -> A.Decl:
+        tok = self.cur
+        if self._accept("token"):
+            return self._token_decl(tok)
+        if self._accept("pat"):
+            return self._pat_decl(tok)
+        if self._accept("sem"):
+            return self._sem_decl(tok)
+        if self._accept("val"):
+            return self._global_val(tok)
+        if self._accept("fun"):
+            return self._fun_decl(tok)
+        if self._accept("extern"):
+            return self._extern_decl(tok)
+        raise ParseError(f"expected declaration, found {tok.text!r}", tok.span)
+
+    def _token_decl(self, start: Token) -> A.TokenDecl:
+        name = self._ident()
+        self._expect("[")
+        width = self._int()
+        self._expect("]")
+        self._expect("fields")
+        fields: list[A.FieldDecl] = []
+        while True:
+            ftok = self.cur
+            fname = self._ident()
+            lo = self._int()
+            self._expect(":")
+            hi = self._int()
+            if lo > hi:
+                raise ParseError(f"field {fname!r} has lo > hi ({lo}:{hi})", ftok.span)
+            if hi >= width:
+                raise ParseError(f"field {fname!r} exceeds token width {width}", ftok.span)
+            fields.append(A.FieldDecl(fname, lo, hi, span=ftok.span))
+            if not self._accept(","):
+                break
+        self._expect(";")
+        return A.TokenDecl(name, width, fields, span=start.span)
+
+    def _pat_decl(self, start: Token) -> A.PatDecl:
+        name = self._ident()
+        self._expect("=")
+        expr = self._pat_or()
+        self._expect(";")
+        return A.PatDecl(name, expr, span=start.span)
+
+    def _pat_or(self) -> A.PatExpr:
+        left = self._pat_and()
+        while self._check("||"):
+            tok = self._advance()
+            left = A.PatOr(left, self._pat_and(), span=tok.span)
+        return left
+
+    def _pat_and(self) -> A.PatExpr:
+        left = self._pat_primary()
+        while self._check("&&"):
+            tok = self._advance()
+            left = A.PatAnd(left, self._pat_primary(), span=tok.span)
+        return left
+
+    def _pat_primary(self) -> A.PatExpr:
+        if self._accept("("):
+            inner = self._pat_or()
+            self._expect(")")
+            return inner
+        tok = self.cur
+        name = self._ident()
+        for op in ("==", "!=", "<=", ">=", "<", ">"):
+            if self._accept(op):
+                value = self._int()
+                return A.PatRel(name, op, value, span=tok.span)
+        return A.PatRef(name, span=tok.span)
+
+    def _sem_decl(self, start: Token) -> A.SemDecl:
+        name = self._ident()
+        body = self._block()
+        self._accept(";")
+        return A.SemDecl(name, body, span=start.span)
+
+    def _global_val(self, start: Token) -> A.GlobalVal:
+        name = self._ident()
+        type_name = None
+        if self._accept(":"):
+            type_name = self._ident_or_keyword()
+        init = None
+        if self._accept("="):
+            init = self._expr()
+        self._expect(";")
+        return A.GlobalVal(name, init, type_name, span=start.span)
+
+    def _ident_or_keyword(self) -> str:
+        if self.cur.kind in (TokKind.IDENT, TokKind.KEYWORD):
+            return self._advance().text
+        raise ParseError(f"expected type name, found {self.cur.text!r}", self.cur.span)
+
+    def _fun_decl(self, start: Token) -> A.FunDecl:
+        name = self._ident()
+        self._expect("(")
+        params: list[str] = []
+        if not self._check(")"):
+            params.append(self._ident())
+            while self._accept(","):
+                params.append(self._ident())
+        self._expect(")")
+        body = self._block()
+        self._accept(";")
+        return A.FunDecl(name, params, body, span=start.span)
+
+    def _extern_decl(self, start: Token) -> A.ExternDecl:
+        name = self._ident()
+        self._expect("(")
+        arity = self._int()
+        self._expect(")")
+        self._expect(";")
+        return A.ExternDecl(name, arity, span=start.span)
+
+    # -- statements ---------------------------------------------------
+
+    def _block(self) -> A.Block:
+        start = self._expect("{")
+        stmts: list[A.Stmt] = []
+        while not self._check("}"):
+            stmts.append(self._statement())
+        self._expect("}")
+        return A.Block(stmts, span=start.span)
+
+    def _statement(self) -> A.Stmt:
+        tok = self.cur
+        if self._check("{"):
+            return self._block()
+        if self._accept("val"):
+            name = self._ident()
+            type_name = None
+            if self._accept(":"):
+                type_name = self._ident_or_keyword()
+            init = None
+            if self._accept("="):
+                init = self._expr()
+            self._expect(";")
+            return A.ValStmt(name, init, type_name, span=tok.span)
+        if self._accept("if"):
+            self._expect("(")
+            cond = self._expr()
+            self._expect(")")
+            then_body = self._statement()
+            else_body = self._statement() if self._accept("else") else None
+            return A.If(cond, then_body, else_body, span=tok.span)
+        if self._accept("switch"):
+            return self._switch(tok)
+        if self._accept("while"):
+            self._expect("(")
+            cond = self._expr()
+            self._expect(")")
+            return A.While(cond, self._statement(), span=tok.span)
+        if self._accept("do"):
+            body = self._statement()
+            self._expect("while")
+            self._expect("(")
+            cond = self._expr()
+            self._expect(")")
+            self._expect(";")
+            return A.DoWhile(body, cond, span=tok.span)
+        if self._accept("for"):
+            return self._for(tok)
+        if self._accept("break"):
+            self._expect(";")
+            return A.Break(span=tok.span)
+        if self._accept("continue"):
+            self._expect(";")
+            return A.Continue(span=tok.span)
+        if self._accept("return"):
+            value = None if self._check(";") else self._expr()
+            self._expect(";")
+            return A.Return(value, span=tok.span)
+        return self._simple_stmt(semi=True)
+
+    def _simple_stmt(self, semi: bool) -> A.Stmt:
+        tok = self.cur
+        expr = self._expr()
+        for op in _ASSIGN_OPS:
+            if self._check(op):
+                self._advance()
+                value = self._expr()
+                if semi:
+                    self._expect(";")
+                if not isinstance(expr, (A.Name, A.Index)):
+                    raise ParseError("assignment target must be a variable or element", tok.span)
+                return A.Assign(expr, op, value, span=tok.span)
+        if semi:
+            self._expect(";")
+        return A.ExprStmt(expr, span=tok.span)
+
+    def _switch(self, start: Token) -> A.Switch:
+        self._expect("(")
+        scrutinee = self._expr()
+        self._expect(")")
+        self._expect("{")
+        cases: list[A.Case] = []
+        while not self._check("}"):
+            ctok = self.cur
+            if self._accept("pat"):
+                names = [self._ident()]
+                while self._accept(","):
+                    names.append(self._ident())
+                self._expect(":")
+                body = self._case_body()
+                cases.append(A.Case("pat", [], names, body, span=ctok.span))
+            elif self._accept("case"):
+                values = [self._expr()]
+                while self._accept(","):
+                    values.append(self._expr())
+                self._expect(":")
+                body = self._case_body()
+                cases.append(A.Case("int", values, [], body, span=ctok.span))
+            elif self._accept("default"):
+                self._expect(":")
+                body = self._case_body()
+                cases.append(A.Case("default", [], [], body, span=ctok.span))
+            else:
+                raise ParseError(f"expected case/pat/default, found {self.cur.text!r}", self.cur.span)
+        self._expect("}")
+        return A.Switch(scrutinee, cases, span=start.span)
+
+    def _case_body(self) -> A.Block:
+        start = self.cur
+        stmts: list[A.Stmt] = []
+        while not (
+            self._check("}") or self._check("case") or self._check("pat") or self._check("default")
+        ):
+            stmts.append(self._statement())
+        return A.Block(stmts, span=start.span)
+
+    def _for(self, start: Token) -> A.For:
+        self._expect("(")
+        init: A.Stmt | None = None
+        if not self._check(";"):
+            if self._accept("val"):
+                vtok = self.tokens[self.pos - 1]
+                name = self._ident()
+                self._expect("=")
+                init_expr = self._expr()
+                init = A.ValStmt(name, init_expr, span=vtok.span)
+            else:
+                init = self._simple_stmt(semi=False)
+        self._expect(";")
+        cond = None if self._check(";") else self._expr()
+        self._expect(";")
+        step = None if self._check(")") else self._simple_stmt(semi=False)
+        self._expect(")")
+        body = self._statement()
+        return A.For(init, cond, step, body, span=start.span)
+
+    # -- expressions --------------------------------------------------
+
+    def _expr(self) -> A.Expr:
+        return self._binary(0)
+
+    def _binary(self, level: int) -> A.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._unary()
+        left = self._binary(level + 1)
+        ops = _BINARY_LEVELS[level]
+        while self.cur.kind is TokKind.PUNCT and self.cur.text in ops:
+            tok = self._advance()
+            right = self._binary(level + 1)
+            left = A.Binary(tok.text, left, right, span=tok.span)
+        return left
+
+    def _unary(self) -> A.Expr:
+        tok = self.cur
+        for op in ("-", "~", "!"):
+            if self._check(op):
+                self._advance()
+                return A.Unary(op, self._unary(), span=tok.span)
+        return self._postfix()
+
+    def _postfix(self) -> A.Expr:
+        expr = self._primary()
+        while True:
+            tok = self.cur
+            if self._accept("["):
+                index = self._expr()
+                self._expect("]")
+                expr = A.Index(expr, index, span=tok.span)
+            elif self._accept("?"):
+                name = self._ident()
+                args: list[A.Expr] = []
+                has_parens = False
+                if self._accept("("):
+                    has_parens = True
+                    if not self._check(")"):
+                        args.append(self._expr())
+                        while self._accept(","):
+                            args.append(self._expr())
+                    self._expect(")")
+                expr = A.Attr(expr, name, args, has_parens, span=tok.span)
+            else:
+                return expr
+
+    def _primary(self) -> A.Expr:
+        tok = self.cur
+        if tok.kind is TokKind.INT:
+            self._advance()
+            return A.IntLit(tok.value, span=tok.span)  # type: ignore[arg-type]
+        if tok.kind is TokKind.STRING:
+            self._advance()
+            return A.StrLit(tok.value, span=tok.span)  # type: ignore[arg-type]
+        if self._accept("true"):
+            return A.BoolLit(True, span=tok.span)
+        if self._accept("false"):
+            return A.BoolLit(False, span=tok.span)
+        if self._accept("array"):
+            self._expect("(")
+            size = self._expr()
+            self._expect(")")
+            self._expect("{")
+            init = self._expr()
+            self._expect("}")
+            return A.ArrayNew(size, init, span=tok.span)
+        if self._accept("queue"):
+            self._expect("(")
+            self._expect(")")
+            return A.QueueNew(span=tok.span)
+        if self._accept("("):
+            first = self._expr()
+            if self._accept(","):
+                items = [first, self._expr()]
+                while self._accept(","):
+                    items.append(self._expr())
+                self._expect(")")
+                return A.TupleLit(items, span=tok.span)
+            self._expect(")")
+            return first
+        if tok.kind is TokKind.IDENT:
+            name = self._advance().text
+            if self._accept("("):
+                args: list[A.Expr] = []
+                if not self._check(")"):
+                    args.append(self._expr())
+                    while self._accept(","):
+                        args.append(self._expr())
+                self._expect(")")
+                return A.Call(name, args, span=tok.span)
+            return A.Name(name, span=tok.span)
+        raise ParseError(f"expected expression, found {tok.text!r}", tok.span)
+
+
+def parse(text: str, filename: str = "<facile>") -> A.Program:
+    """Parse Facile source text into a :class:`Program` AST."""
+    return Parser(SourceBuffer(text, filename)).parse_program()

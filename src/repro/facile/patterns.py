@@ -1,0 +1,307 @@
+"""Pattern algebra and decoder generation.
+
+Facile describes instruction encodings as boolean constraints over token
+fields (Figure 4 of the paper), in the style of the New Jersey
+Machine-Code Toolkit.  This module normalizes pattern expressions to
+disjunctive normal form, checks satisfiability of each conjunct, and
+builds a decoder that maps a fetched token word to a pattern index.
+
+The generated decoder is a decision procedure over ``(word >> lo) &
+mask`` field tests.  When many patterns discriminate on a common field
+with ``==`` constraints (the usual primary-opcode case), the decoder
+dispatches through a dict on that field first and falls back to linear
+matching inside each bucket, mirroring how generated C decoders switch
+on the major opcode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import ast_nodes as A
+from .source import SemanticError
+
+
+@dataclass(frozen=True)
+class FieldInfo:
+    """A named bit field of a token."""
+
+    name: str
+    token: str
+    lo: int
+    hi: int
+
+    @property
+    def width(self) -> int:
+        return self.hi - self.lo + 1
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+    def extract(self, word: int) -> int:
+        return (word >> self.lo) & self.mask
+
+    def extract_src(self, word_var: str) -> str:
+        """Python source extracting this field from `word_var`."""
+        if self.lo == 0:
+            return f"({word_var} & {self.mask:#x})"
+        return f"(({word_var} >> {self.lo}) & {self.mask:#x})"
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A single relational constraint on one field."""
+
+    fld: FieldInfo
+    op: str  # == != < <= > >=
+    value: int
+
+    def matches(self, word: int) -> bool:
+        v = self.fld.extract(word)
+        return {
+            "==": v == self.value,
+            "!=": v != self.value,
+            "<": v < self.value,
+            "<=": v <= self.value,
+            ">": v > self.value,
+            ">=": v >= self.value,
+        }[self.op]
+
+    def source(self, word_var: str) -> str:
+        return f"{self.fld.extract_src(word_var)} {self.op} {self.value}"
+
+
+@dataclass
+class PatternDef:
+    """A named pattern normalized to DNF: a list of conjunctions."""
+
+    name: str
+    index: int
+    conjuncts: list[tuple[Constraint, ...]]
+    token: str
+
+    def matches(self, word: int) -> bool:
+        return any(all(c.matches(word) for c in conj) for conj in self.conjuncts)
+
+
+@dataclass
+class PatternTable:
+    """All patterns of a program, in declaration order, plus field info."""
+
+    fields: dict[str, FieldInfo]
+    patterns: list[PatternDef] = field(default_factory=list)
+    by_name: dict[str, PatternDef] = field(default_factory=dict)
+    token_widths: dict[str, int] = field(default_factory=dict)
+
+    def pattern_index(self, name: str) -> int:
+        return self.by_name[name].index
+
+    def decode(self, word: int) -> int:
+        """Reference decoder: first declared pattern that matches, else -1."""
+        for pat in self.patterns:
+            if pat.matches(word):
+                return pat.index
+        return -1
+
+    def token_width_for(self, pat_names: list[str]) -> int:
+        widths = {self.token_widths[self.by_name[n].token] for n in pat_names}
+        if len(widths) != 1:
+            raise SemanticError(f"patterns {pat_names} span tokens of different widths")
+        return widths.pop()
+
+
+def build_pattern_table(program: A.Program) -> PatternTable:
+    """Resolve token/field/pat declarations into a :class:`PatternTable`."""
+    fields: dict[str, FieldInfo] = {}
+    token_widths: dict[str, int] = {}
+    for decl in program.decls:
+        if isinstance(decl, A.TokenDecl):
+            if decl.name in token_widths:
+                raise SemanticError(f"duplicate token {decl.name!r}", decl.span)
+            token_widths[decl.name] = decl.width
+            for f in decl.fields:
+                if f.name in fields:
+                    raise SemanticError(f"duplicate field {f.name!r}", f.span)
+                fields[f.name] = FieldInfo(f.name, decl.name, f.lo, f.hi)
+
+    table = PatternTable(fields=fields, token_widths=token_widths)
+    for decl in program.decls:
+        if not isinstance(decl, A.PatDecl):
+            continue
+        if decl.name in table.by_name:
+            raise SemanticError(f"duplicate pattern {decl.name!r}", decl.span)
+        conjuncts = _to_dnf(decl.expr, table)
+        conjuncts = [c for c in conjuncts if _satisfiable(c)]
+        if not conjuncts:
+            raise SemanticError(f"pattern {decl.name!r} is unsatisfiable", decl.span)
+        tokens = {c.fld.token for conj in conjuncts for c in conj}
+        if len(tokens) > 1:
+            raise SemanticError(
+                f"pattern {decl.name!r} mixes fields of different tokens", decl.span
+            )
+        pat = PatternDef(decl.name, len(table.patterns), conjuncts, tokens.pop())
+        table.patterns.append(pat)
+        table.by_name[decl.name] = pat
+    return table
+
+
+def _to_dnf(expr: A.PatExpr, table: PatternTable) -> list[tuple[Constraint, ...]]:
+    if isinstance(expr, A.PatRel):
+        fld = table.fields.get(expr.field_name)
+        if fld is None:
+            raise SemanticError(f"unknown field {expr.field_name!r} in pattern", expr.span)
+        if not 0 <= expr.value <= fld.mask and expr.op in ("==",):
+            raise SemanticError(
+                f"value {expr.value} does not fit field {fld.name!r} ({fld.width} bits)",
+                expr.span,
+            )
+        return [(Constraint(fld, expr.op, expr.value),)]
+    if isinstance(expr, A.PatRef):
+        ref = table.by_name.get(expr.name)
+        if ref is None:
+            raise SemanticError(f"unknown pattern {expr.name!r}", expr.span)
+        return [tuple(c) for c in ref.conjuncts]
+    if isinstance(expr, A.PatOr):
+        return _to_dnf(expr.left, table) + _to_dnf(expr.right, table)
+    if isinstance(expr, A.PatAnd):
+        left = _to_dnf(expr.left, table)
+        right = _to_dnf(expr.right, table)
+        return [lc + rc for lc in left for rc in right]
+    raise SemanticError(f"unsupported pattern expression {type(expr).__name__}", expr.span)
+
+
+def _satisfiable(conj: tuple[Constraint, ...]) -> bool:
+    """Check a conjunction for contradictory constraints on one field."""
+    by_field: dict[str, list[Constraint]] = {}
+    for c in conj:
+        by_field.setdefault(c.fld.name, []).append(c)
+    for constraints in by_field.values():
+        lo, hi = 0, constraints[0].fld.mask
+        excluded: set[int] = set()
+        for c in constraints:
+            if c.op == "==":
+                lo, hi = max(lo, c.value), min(hi, c.value)
+            elif c.op == "!=":
+                excluded.add(c.value)
+            elif c.op == "<":
+                hi = min(hi, c.value - 1)
+            elif c.op == "<=":
+                hi = min(hi, c.value)
+            elif c.op == ">":
+                lo = max(lo, c.value + 1)
+            elif c.op == ">=":
+                lo = max(lo, c.value)
+        if lo > hi:
+            return False
+        if lo == hi and lo in excluded:
+            return False
+    return True
+
+
+def choose_dispatch_field(table: PatternTable) -> FieldInfo | None:
+    """Pick the best field for first-level dict dispatch.
+
+    A field qualifies for a pattern if *every* conjunct of the pattern
+    pins it with an ``==`` constraint.  The field pinning the most
+    patterns wins; ties break toward wider fields (more selective).
+    """
+    scores: dict[str, int] = {}
+    for pat in table.patterns:
+        pinned: set[str] | None = None
+        for conj in pat.conjuncts:
+            here = {c.fld.name for c in conj if c.op == "=="}
+            pinned = here if pinned is None else (pinned & here)
+        for name in pinned or ():
+            scores[name] = scores.get(name, 0) + 1
+    if not scores:
+        return None
+    best = max(scores, key=lambda n: (scores[n], table.fields[n].width))
+    if scores[best] < 2:
+        return None
+    return table.fields[best]
+
+
+def generate_decoder_source(table: PatternTable, func_name: str = "_decode") -> str:
+    """Emit Python source for a decoder function ``func_name(word) -> int``.
+
+    The function returns the matched pattern index or -1.  Results are
+    memoized per word value by the caller (see runtime.SimContext);
+    decode happens only in the slow engine, where words are run-time
+    static, so the cache hit rate is effectively 100% after warm-up.
+    """
+    lines = [f"def {func_name}(word):"]
+    dispatch = choose_dispatch_field(table)
+    if dispatch is None:
+        _emit_linear(lines, table.patterns, "    ")
+        lines.append("    return -1")
+        return "\n".join(lines) + "\n"
+
+    # Bucket patterns by their pinned dispatch-field value; patterns not
+    # pinned on the dispatch field go to a residual linear chain that is
+    # consulted (in declaration order) interleaved by priority.
+    buckets: dict[int, list[PatternDef]] = {}
+    residual: list[PatternDef] = []
+    for pat in table.patterns:
+        values = set()
+        pinned_everywhere = True
+        for conj in pat.conjuncts:
+            vals = {c.value for c in conj if c.op == "==" and c.fld.name == dispatch.name}
+            if len(vals) != 1:
+                pinned_everywhere = False
+                break
+            values |= vals
+        if pinned_everywhere and len(values) == 1:
+            buckets.setdefault(values.pop(), []).append(pat)
+        else:
+            residual.append(pat)
+
+    lines.append(f"    _k = {dispatch.extract_src('word')}")
+    lines.append(f"    _b = {func_name}_buckets.get(_k)")
+    lines.append("    if _b is not None:")
+    lines.append("        for _idx, _pred in _b:")
+    lines.append("            if _pred(word):")
+    lines.append("                return _idx")
+    if residual:
+        _emit_linear(lines, residual, "    ")
+    lines.append("    return -1")
+
+    # Bucket table construction code.
+    lines.append("")
+    lines.append(f"{func_name}_buckets = {{}}")
+    for value, pats in sorted(buckets.items()):
+        entries = []
+        for pat in pats:
+            pred = _predicate_lambda(pat)
+            entries.append(f"({pat.index}, {pred})")
+        lines.append(f"{func_name}_buckets[{value}] = [{', '.join(entries)}]")
+    return "\n".join(lines) + "\n"
+
+
+def _emit_linear(lines: list[str], pats: list[PatternDef], indent: str) -> None:
+    for pat in pats:
+        cond = _predicate_expr(pat, "word")
+        lines.append(f"{indent}if {cond}:")
+        lines.append(f"{indent}    return {pat.index}")
+
+
+def _predicate_expr(pat: PatternDef, word_var: str) -> str:
+    parts = []
+    for conj in pat.conjuncts:
+        if conj:
+            parts.append("(" + " and ".join(c.source(word_var) for c in conj) + ")")
+        else:
+            parts.append("True")
+    return " or ".join(parts)
+
+
+def _predicate_lambda(pat: PatternDef) -> str:
+    return f"lambda word: {_predicate_expr(pat, 'word')}"
+
+
+def compile_decoder(table: PatternTable):
+    """Compile the generated decoder source and return the function."""
+    src = generate_decoder_source(table)
+    namespace: dict[str, object] = {}
+    exec(compile(src, "<facile-decoder>", "exec"), namespace)
+    return namespace["_decode"], src

@@ -1,0 +1,230 @@
+"""Pretty-printer for Facile ASTs.
+
+Renders parse trees (and the compiler's intermediate, flattened bodies)
+back to canonical Facile source.  Round-tripping is tested:
+``parse(pprint(parse(src)))`` produces a structurally identical tree,
+which makes the printer usable for golden tests, debugging compiler
+passes, and emitting generated descriptions (the ISA generator builds
+text directly, but the examples show compiler phases with this).
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as A
+
+# Binary operator precedence (matches the parser), loosest first.
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+_UNARY_PREC = 11
+_POSTFIX_PREC = 12
+
+
+def format_expr(e: A.Expr, parent_prec: int = 0) -> str:
+    text, prec = _expr(e)
+    if prec < parent_prec:
+        return f"({text})"
+    return text
+
+
+def _expr(e: A.Expr) -> tuple[str, int]:
+    if isinstance(e, A.IntLit):
+        if e.value < 0:
+            return f"(0 - {-e.value})", _POSTFIX_PREC
+        return (hex(e.value) if e.value >= 4096 else str(e.value)), _POSTFIX_PREC
+    if isinstance(e, A.BoolLit):
+        return ("true" if e.value else "false"), _POSTFIX_PREC
+    if isinstance(e, A.StrLit):
+        return repr(e.value).replace("'", '"'), _POSTFIX_PREC
+    if isinstance(e, A.Name):
+        return e.ident, _POSTFIX_PREC
+    if isinstance(e, A.Unary):
+        return f"{e.op}{format_expr(e.operand, _UNARY_PREC)}", _UNARY_PREC
+    if isinstance(e, A.Binary):
+        prec = _PRECEDENCE[e.op]
+        left = format_expr(e.left, prec)
+        right = format_expr(e.right, prec + 1)  # left-associative
+        return f"{left} {e.op} {right}", prec
+    if isinstance(e, A.Index):
+        return f"{format_expr(e.base, _POSTFIX_PREC)}[{format_expr(e.index)}]", _POSTFIX_PREC
+    if isinstance(e, A.Call):
+        args = ", ".join(format_expr(a) for a in e.args)
+        return f"{e.func}({args})", _POSTFIX_PREC
+    if isinstance(e, A.Attr):
+        base = format_expr(e.base, _POSTFIX_PREC)
+        if e.args or e.has_parens:
+            args = ", ".join(format_expr(a) for a in e.args)
+            return f"{base}?{e.name}({args})", _POSTFIX_PREC
+        return f"{base}?{e.name}", _POSTFIX_PREC
+    if isinstance(e, A.ArrayNew):
+        return f"array({format_expr(e.size)}){{{format_expr(e.init)}}}", _POSTFIX_PREC
+    if isinstance(e, A.QueueNew):
+        return "queue()", _POSTFIX_PREC
+    if isinstance(e, A.TupleLit):
+        return "(" + ", ".join(format_expr(i) for i in e.items) + ")", _POSTFIX_PREC
+    raise TypeError(f"cannot format {type(e).__name__}")
+
+
+def _pat_expr(p: A.PatExpr) -> str:
+    if isinstance(p, A.PatRel):
+        value = f"{p.value:#x}" if p.value >= 16 else str(p.value)
+        return f"{p.field_name}{p.op}{value}"
+    if isinstance(p, A.PatRef):
+        return p.name
+    if isinstance(p, A.PatAnd):
+        # || binds looser than &&, so or-children need parentheses.
+        left = _pat_expr(p.left)
+        right = _pat_expr(p.right)
+        if isinstance(p.left, A.PatOr):
+            left = f"({left})"
+        if isinstance(p.right, A.PatOr):
+            right = f"({right})"
+        return f"{left} && {right}"
+    if isinstance(p, A.PatOr):
+        return f"{_pat_expr(p.left)} || {_pat_expr(p.right)}"
+    raise TypeError(type(p).__name__)
+
+
+class _Printer:
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.indent = 0
+
+    def line(self, text: str) -> None:
+        self.lines.append("  " * self.indent + text)
+
+    # -- statements --------------------------------------------------------
+
+    def block(self, b: A.Block) -> None:
+        for stmt in b.stmts:
+            self.stmt(stmt)
+
+    def braced(self, s: A.Stmt) -> None:
+        self.line("{")
+        self.indent += 1
+        if isinstance(s, A.Block):
+            self.block(s)
+        else:
+            self.stmt(s)
+        self.indent -= 1
+        self.line("}")
+
+    def stmt(self, s: A.Stmt) -> None:
+        if isinstance(s, A.Block):
+            self.braced(s)
+        elif isinstance(s, A.ValStmt):
+            ann = f" : {s.type_name}" if s.type_name else ""
+            init = f" = {format_expr(s.init)}" if s.init is not None else ""
+            self.line(f"val {s.name}{ann}{init};")
+        elif isinstance(s, A.Assign):
+            self.line(f"{format_expr(s.target)} {s.op} {format_expr(s.value)};")
+        elif isinstance(s, A.ExprStmt):
+            self.line(f"{format_expr(s.expr)};")
+        elif isinstance(s, A.If):
+            self.line(f"if ({format_expr(s.cond)})")
+            self.braced(s.then_body)
+            if s.else_body is not None:
+                self.line("else")
+                self.braced(s.else_body)
+        elif isinstance(s, A.Switch):
+            self.line(f"switch ({format_expr(s.scrutinee)}) {{")
+            self.indent += 1
+            for case in s.cases:
+                if case.kind == "pat":
+                    self.line(f"pat {', '.join(case.pat_names)}:")
+                elif case.kind == "default":
+                    self.line("default:")
+                else:
+                    self.line(f"case {', '.join(format_expr(v) for v in case.values)}:")
+                self.indent += 1
+                self.block(case.body)
+                self.indent -= 1
+            self.indent -= 1
+            self.line("}")
+        elif isinstance(s, A.While):
+            self.line(f"while ({format_expr(s.cond)})")
+            self.braced(s.body)
+        elif isinstance(s, A.DoWhile):
+            self.line("do")
+            self.braced(s.body)
+            self.line(f"while ({format_expr(s.cond)});")
+        elif isinstance(s, A.For):
+            init = self._inline_stmt(s.init) if s.init is not None else ""
+            cond = format_expr(s.cond) if s.cond is not None else ""
+            step = self._inline_stmt(s.step) if s.step is not None else ""
+            self.line(f"for ({init}; {cond}; {step})")
+            self.braced(s.body)
+        elif isinstance(s, A.Break):
+            self.line("break;")
+        elif isinstance(s, A.Continue):
+            self.line("continue;")
+        elif isinstance(s, A.Return):
+            self.line(f"return {format_expr(s.value)};" if s.value is not None else "return;")
+        else:
+            raise TypeError(f"cannot format {type(s).__name__}")
+
+    @staticmethod
+    def _inline_stmt(s: A.Stmt) -> str:
+        if isinstance(s, A.ValStmt):
+            return f"val {s.name} = {format_expr(s.init)}"
+        if isinstance(s, A.Assign):
+            return f"{format_expr(s.target)} {s.op} {format_expr(s.value)}"
+        if isinstance(s, A.ExprStmt):
+            return format_expr(s.expr)
+        raise TypeError(f"cannot inline {type(s).__name__}")
+
+    # -- declarations --------------------------------------------------------
+
+    def decl(self, d: A.Decl) -> None:
+        if isinstance(d, A.TokenDecl):
+            fields = ", ".join(f"{f.name} {f.lo}:{f.hi}" for f in d.fields)
+            self.line(f"token {d.name}[{d.width}] fields {fields};")
+        elif isinstance(d, A.PatDecl):
+            self.line(f"pat {d.name} = {_pat_expr(d.expr)};")
+        elif isinstance(d, A.SemDecl):
+            self.line(f"sem {d.pat_name}")
+            self.braced(d.body)
+            self.lines[-1] += ";"
+        elif isinstance(d, A.GlobalVal):
+            ann = f" : {d.type_name}" if d.type_name else ""
+            init = f" = {format_expr(d.init)}" if d.init is not None else ""
+            self.line(f"val {d.name}{ann}{init};")
+        elif isinstance(d, A.FunDecl):
+            self.line(f"fun {d.name}({', '.join(d.params)})")
+            self.braced(d.body)
+        elif isinstance(d, A.ExternDecl):
+            self.line(f"extern {d.name}({d.arity});")
+        else:
+            raise TypeError(f"cannot format {type(d).__name__}")
+
+
+def format_program(program: A.Program) -> str:
+    """Render a whole parsed program as canonical Facile source."""
+    printer = _Printer()
+    for d in program.decls:
+        printer.decl(d)
+    return "\n".join(printer.lines) + "\n"
+
+
+def format_stmt(stmt: A.Stmt) -> str:
+    """Render one statement (useful when inspecting compiler passes)."""
+    printer = _Printer()
+    printer.stmt(stmt)
+    return "\n".join(printer.lines)

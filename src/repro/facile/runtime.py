@@ -1,0 +1,724 @@
+"""Fast-forwarding run-time system (paper §2, §4.3).
+
+This module implements the machinery shared by every compiled
+simulator:
+
+* the **specialized action cache** — entries keyed by ``main``'s
+  run-time static input, holding linked *action records*; actions that
+  test dynamic values (*dynamic result tests*) have one successor chain
+  per observed result value (Figure 2);
+* the **memoizer** driving the slow/complete engine — it appends action
+  records while recording, and during **miss recovery** walks the
+  existing records, verifying action numbers and feeding previously
+  replayed dynamic results back to the slow simulator from the
+  *recovery stack* (Figure 10's emboldened code);
+* the **fast/residual engine driver** — a loop that reads action
+  numbers and dispatches to compiled dynamic basic blocks (Figure 9);
+* the **simulation context** — all dynamic simulator state (slots,
+  target memory, statistics, extern bindings), shared by both engines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class SimulationError(Exception):
+    """Raised for runtime protocol violations (compiler bugs, bad keys)."""
+
+
+# ---------------------------------------------------------------------------
+# Value freezing (keys and placeholder data must be immutable)
+# ---------------------------------------------------------------------------
+
+
+def freeze(value: Any) -> Any:
+    """Deep-convert mutable containers to hashable tuples."""
+    if type(value) is int:
+        return value
+    if isinstance(value, (list, deque, tuple)):
+        return tuple(freeze(v) for v in value)
+    return value
+
+
+def thaw(value: Any) -> Any:
+    """Deep-convert tuples back to mutable lists (inverse of freeze)."""
+    if isinstance(value, tuple):
+        return [thaw(v) for v in value]
+    return value
+
+
+def value_bytes(value: Any) -> int:
+    """Approximate memoized size of a value, in bytes.
+
+    Models the paper's compact C layout: 8 bytes per scalar, recursively
+    for containers (the paper's example compresses an instruction queue
+    into "fewer than 40 bytes"; our accounting is similarly structural,
+    not Python ``sys.getsizeof``, so Table 2 is comparable in spirit).
+    """
+    if isinstance(value, tuple):
+        return 8 + sum(value_bytes(v) for v in value)
+    return 8
+
+
+# ---------------------------------------------------------------------------
+# Action records and the specialized action cache
+# ---------------------------------------------------------------------------
+
+
+class ActionRecord:
+    """A recorded dynamic basic block: action number + placeholder data."""
+
+    __slots__ = ("num", "data", "next")
+
+    def __init__(self, num: int, data: tuple):
+        self.num = num
+        self.data = data
+        self.next: object | None = None
+
+    is_verify = False
+    is_end = False
+
+
+class VerifyRecord:
+    """A dynamic result test: successors keyed by the observed value."""
+
+    __slots__ = ("num", "data", "succ")
+
+    def __init__(self, num: int, data: tuple):
+        self.num = num
+        self.data = data
+        self.succ: dict[Any, object] = {}
+
+    is_verify = True
+    is_end = False
+
+
+class EndRecord:
+    """Marks the end of one simulator step (the INDEX_ACTION boundary).
+
+    ``likely_next`` implements the paper's observation that "it is
+    faster to follow the link to the next entry" than to do a full
+    cache lookup: it caches ``(raw_init_value, entry)`` so a replayed
+    chain can continue by identity comparison alone.
+    """
+
+    __slots__ = ("likely_next",)
+
+    def __init__(self) -> None:
+        self.likely_next: tuple | None = None
+
+    is_verify = False
+    is_end = True
+    num = -1
+    data = ()
+
+
+class CacheEntry:
+    __slots__ = ("key", "first", "complete", "generation")
+
+    def __init__(self, key: tuple, generation: int = 0):
+        self.key = key
+        self.first: object | None = None
+        self.complete = False
+        self.generation = generation
+
+
+@dataclass
+class CacheStats:
+    entries_created: int = 0
+    records_created: int = 0
+    bytes_current: int = 0
+    bytes_cumulative: int = 0
+    clears: int = 0
+    lookups: int = 0
+    hits: int = 0
+    misses_new_key: int = 0
+    misses_verify: int = 0
+
+
+class ActionCache:
+    """The specialized action cache, with optional byte-limited clearing.
+
+    ``limit_bytes`` mirrors the paper's 256 MB cap (§6.2): when the
+    accounted size exceeds the limit the whole cache is cleared and
+    recording starts over, "just as when the program starts".
+    """
+
+    def __init__(self, limit_bytes: int | None = None):
+        self.limit_bytes = limit_bytes
+        self.entries: dict[tuple, CacheEntry] = {}
+        self.stats = CacheStats()
+        self.generation = 0
+
+    def lookup(self, key: tuple) -> CacheEntry | None:
+        self.stats.lookups += 1
+        entry = self.entries.get(key)
+        if entry is not None and entry.complete:
+            self.stats.hits += 1
+            return entry
+        return None
+
+    def create_entry(self, key: tuple) -> CacheEntry:
+        self._charge(value_bytes(key) + 24)
+        entry = CacheEntry(key, self.generation)
+        self.entries[key] = entry
+        self.stats.entries_created += 1
+        return entry
+
+    def charge_record(self, record: object) -> None:
+        self.stats.records_created += 1
+        data = getattr(record, "data", ())
+        cost = 12 + value_bytes(data)
+        if getattr(record, "is_verify", False):
+            cost += 16
+        self._charge(cost)
+
+    def _charge(self, nbytes: int) -> None:
+        self.stats.bytes_current += nbytes
+        self.stats.bytes_cumulative += nbytes
+
+    def maybe_clear(self) -> bool:
+        """Clear everything if over the limit.  Called at step boundaries."""
+        if self.limit_bytes is not None and self.stats.bytes_current > self.limit_bytes:
+            self.entries.clear()
+            self.stats.bytes_current = 0
+            self.stats.clears += 1
+            self.generation += 1  # invalidates likely-next links
+            return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Target memory
+# ---------------------------------------------------------------------------
+
+
+class Memory:
+    """Sparse paged byte-addressable target memory (little-endian)."""
+
+    PAGE_BITS = 12
+    PAGE_SIZE = 1 << PAGE_BITS
+
+    def __init__(self) -> None:
+        self._pages: dict[int, bytearray] = {}
+
+    def _page(self, addr: int) -> tuple[bytearray, int]:
+        page = self._pages.get(addr >> self.PAGE_BITS)
+        if page is None:
+            page = bytearray(self.PAGE_SIZE)
+            self._pages[addr >> self.PAGE_BITS] = page
+        return page, addr & (self.PAGE_SIZE - 1)
+
+    def read8(self, addr: int) -> int:
+        page, off = self._page(addr)
+        return page[off]
+
+    def write8(self, addr: int, value: int) -> None:
+        page, off = self._page(addr)
+        page[off] = value & 0xFF
+
+    def read16(self, addr: int) -> int:
+        return self.read8(addr) | (self.read8(addr + 1) << 8)
+
+    def write16(self, addr: int, value: int) -> None:
+        self.write8(addr, value)
+        self.write8(addr + 1, value >> 8)
+
+    def read32(self, addr: int) -> int:
+        if addr & (self.PAGE_SIZE - 1) <= self.PAGE_SIZE - 4:
+            page, off = self._page(addr)
+            return int.from_bytes(page[off : off + 4], "little")
+        return self.read16(addr) | (self.read16(addr + 2) << 16)
+
+    def write32(self, addr: int, value: int) -> None:
+        if addr & (self.PAGE_SIZE - 1) <= self.PAGE_SIZE - 4:
+            page, off = self._page(addr)
+            page[off : off + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+            return
+        self.write16(addr, value)
+        self.write16(addr + 2, value >> 16)
+
+    def load_bytes(self, addr: int, data: bytes) -> None:
+        for i, b in enumerate(data):
+            self.write8(addr + i, b)
+
+
+# ---------------------------------------------------------------------------
+# Simulation context: all dynamic state, shared by slow and fast engines
+# ---------------------------------------------------------------------------
+
+
+class SimContext:
+    """Dynamic simulator state plus services used by generated code."""
+
+    def __init__(
+        self,
+        slot_count: int,
+        global_slots: dict[str, int],
+        externs: dict[str, Callable] | None = None,
+    ):
+        self.S: list[Any] = [0] * slot_count
+        self.global_slots = dict(global_slots)
+        self.mem = Memory()
+        self.externs: dict[str, Callable] = dict(externs or {})
+        self.halted = False
+        self.in_fast = False
+        # Statistics maintained by dynamic built-ins.
+        self.retired_total = 0
+        self.retired_fast = 0
+        self.cycles = 0
+        self.counters: dict[str, int] = {}
+        self.log: list[Any] = []
+        self._text_words: dict[int, int] = {}
+        self._decode_cache: dict[int, int] = {}
+
+    # -- services for generated code ------------------------------------
+
+    def text_word(self, addr: int, width_bytes: int = 4) -> int:
+        """Fetch an instruction token; cached because target text is
+        run-time static (paper footnote 3)."""
+        word = self._text_words.get(addr)
+        if word is None:
+            if width_bytes == 4:
+                word = self.mem.read32(addr)
+            elif width_bytes == 2:
+                word = self.mem.read16(addr)
+            else:
+                word = self.mem.read8(addr)
+            self._text_words[addr] = word
+        return word
+
+    def stat_retire(self, n: int) -> None:
+        self.retired_total += n
+        if self.in_fast:
+            self.retired_fast += n
+
+    def stat_cycle(self, n: int) -> None:
+        self.cycles += n
+
+    def stat_count(self, counter_id: int, n: int) -> None:
+        key = str(counter_id)
+        self.counters[key] = self.counters.get(key, 0) + n
+
+    def halt(self) -> None:
+        self.halted = True
+
+    def log_value(self, value: Any) -> None:
+        self.log.append(value)
+
+    def call_extern(self, name: str, *args: Any) -> Any:
+        fn = self.externs.get(name)
+        if fn is None:
+            raise SimulationError(f"extern {name!r} was not bound")
+        return fn(*args)
+
+    # -- harness access ----------------------------------------------------
+
+    def read_global(self, name: str) -> Any:
+        return self.S[self.global_slots[name]]
+
+    def write_global(self, name: str, value: Any) -> None:
+        self.S[self.global_slots[name]] = value
+
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture all dynamic simulator state for later :meth:`restore`.
+
+        Covers slots, target memory, statistics, and control flags —
+        i.e. everything the context owns.  Extern substrates (cache
+        simulator, branch predictor) live outside the context and must
+        be checkpointed by their owner if exact timing resumption is
+        required; architectural results never depend on them.
+        """
+        import copy
+
+        return {
+            "S": copy.deepcopy(self.S),
+            "pages": {k: bytearray(v) for k, v in self.mem._pages.items()},
+            "halted": self.halted,
+            "retired_total": self.retired_total,
+            "retired_fast": self.retired_fast,
+            "cycles": self.cycles,
+            "counters": dict(self.counters),
+            "log": list(self.log),
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Restore state captured by :meth:`snapshot`."""
+        import copy
+
+        self.S[:] = copy.deepcopy(snap["S"])
+        self.mem._pages = {k: bytearray(v) for k, v in snap["pages"].items()}
+        self.halted = snap["halted"]
+        self.retired_total = snap["retired_total"]
+        self.retired_fast = snap["retired_fast"]
+        self.cycles = snap["cycles"]
+        self.counters = dict(snap["counters"])
+        self.log = list(snap["log"])
+        # Text/decode caches describe immutable text; keep them.
+
+
+# ---------------------------------------------------------------------------
+# Memoizer: drives recording and miss recovery in the slow engine
+# ---------------------------------------------------------------------------
+
+
+_ATTACH_ENTRY = 0  # next record becomes entry.first
+_ATTACH_NEXT = 1  # next record goes into record.next
+_ATTACH_SUCC = 2  # next record goes into record.succ[value]
+
+
+class Memoizer:
+    """Recording/recovery state machine used by generated slow code.
+
+    Protocol emitted by the compiler (cf. Figure 10):
+
+    * normal action:   ``M.action(num, data)`` then the guarded dynamic
+      statement ``if not M.recover: ...``;
+    * dynamic result:  ``M.begin_verify(num, data)`` then either
+      ``v = M.pop_verify()`` (recovering) or compute ``v`` and call
+      ``M.note_verify(v)``;
+    * step boundary:   ``begin_step``/``begin_recovery`` before calling
+      the slow function, ``end_step`` after it returns.
+    """
+
+    def __init__(self, cache: ActionCache):
+        self.cache = cache
+        self.recover = False
+        self.entry: CacheEntry | None = None
+        self._attach_kind = _ATTACH_ENTRY
+        self._attach_rec: Any = None
+        self._attach_val: Any = None
+        self._cursor: Any = None
+        self._rstack: deque = deque()
+
+    # -- step control ------------------------------------------------------
+
+    def begin_step(self, key: tuple) -> None:
+        self.recover = False
+        self.entry = self.cache.create_entry(key)
+        self._attach_kind = _ATTACH_ENTRY
+        self._attach_rec = None
+
+    def begin_recovery(self, entry: CacheEntry, results: list) -> None:
+        """Restart the slow simulator after an action-cache miss.
+
+        `results` holds every dynamic result the fast simulator replayed
+        since the entry key, plus (last) the result value that missed.
+        """
+        self.recover = True
+        self.entry = entry
+        self._cursor = entry.first
+        self._rstack = deque(results)
+        self._attach_rec = None
+
+    def end_step(self) -> None:
+        if self.recover:
+            raise SimulationError("step ended while still recovering from a miss")
+        end = EndRecord()
+        self._attach(end)
+        if self.entry is not None:
+            self.entry.complete = True
+        self.entry = None
+
+    # -- recording / recovery operations -------------------------------------
+
+    def action(self, num: int, data: tuple) -> None:
+        if self.recover:
+            cur = self._cursor
+            if cur is None or cur.is_verify or cur.num != num:
+                raise SimulationError(
+                    f"recovery desync: expected action {getattr(cur, 'num', None)}, got {num}"
+                )
+            self._cursor = cur.next
+            return
+        rec = ActionRecord(num, data)
+        self._attach(rec)
+        self._attach_kind = _ATTACH_NEXT
+        self._attach_rec = rec
+
+    def begin_verify(self, num: int, data: tuple) -> None:
+        if self.recover:
+            cur = self._cursor
+            if cur is None or not cur.is_verify or cur.num != num:
+                raise SimulationError(
+                    f"recovery desync: expected verify {getattr(cur, 'num', None)}, got {num}"
+                )
+            return
+        rec = VerifyRecord(num, data)
+        self._attach(rec)
+        self._attach_kind = _ATTACH_SUCC
+        self._attach_rec = rec
+        self._attach_val = None  # set by note_verify
+
+    def pop_verify(self) -> Any:
+        """During recovery: feed back a dynamic result from the recovery
+        stack (the paper: "they retrieve the dynamic result previously
+        calculated by the fast simulator and pass it to the slow
+        simulator")."""
+        if not self._rstack:
+            raise SimulationError("recovery stack underflow")
+        value = self._rstack.popleft()
+        cur = self._cursor
+        if self._rstack:
+            nxt = cur.succ.get(value)
+            if nxt is None:
+                raise SimulationError("recovery followed an unrecorded result path")
+            self._cursor = nxt
+        else:
+            # This is the action where the miss occurred: switch to
+            # normal recording, attaching the new control-flow path as a
+            # fresh successor chain of this verify record.
+            self.recover = False
+            self._attach_kind = _ATTACH_SUCC
+            self._attach_rec = cur
+            self._attach_val = value
+        return value
+
+    def note_verify(self, value: Any) -> None:
+        self._attach_val = freeze(value)
+
+    # -- linking -------------------------------------------------------------
+
+    def _attach(self, rec: Any) -> None:
+        if self._attach_kind == _ATTACH_ENTRY:
+            self.entry.first = rec
+        elif self._attach_kind == _ATTACH_NEXT:
+            self._attach_rec.next = rec
+        else:
+            self._attach_rec.succ[self._attach_val] = rec
+        self.cache.charge_record(rec)
+
+
+# ---------------------------------------------------------------------------
+# Compiled simulator interface + engines
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunStats:
+    steps_total: int = 0
+    steps_fast: int = 0
+    steps_slow: int = 0
+    steps_recovered: int = 0
+    actions_replayed: int = 0
+
+
+@dataclass
+class CompiledSimulator:
+    """Everything the engines need about one compiled Facile simulator."""
+
+    name: str
+    slow_main: Callable  # slow_main(ctx, M, *args)
+    fast_actions: list  # index -> (fn, is_verify); fn(ctx, S, data)
+    slot_count: int
+    global_slots: dict[str, int]
+    init_slot: int
+    param_count: int
+    setup: Callable  # setup(ctx): initialize global slots
+    init_flushed: bool = False  # init slot always holds frozen values
+    source_slow: str = ""
+    source_fast: str = ""
+    plain_main: Callable | None = None  # non-memoized build
+    source_plain: str = ""
+    division_summary: dict = field(default_factory=dict)
+
+    def make_context(self, externs: dict[str, Callable] | None = None) -> SimContext:
+        ctx = SimContext(self.slot_count, self.global_slots, externs)
+        self.setup(ctx)
+        return ctx
+
+
+class FastForwardEngine:
+    """The two-engine driver: fast replay with slow fallback (Figure 1)."""
+
+    def __init__(
+        self,
+        compiled: CompiledSimulator,
+        ctx: SimContext,
+        cache_limit_bytes: int | None = None,
+        index_links: bool = True,
+    ):
+        self.compiled = compiled
+        self.ctx = ctx
+        self.cache = ActionCache(limit_bytes=cache_limit_bytes)
+        self.memoizer = Memoizer(self.cache)
+        self.stats = RunStats()
+        # The paper's INDEX_ACTION chaining; disable to force a full
+        # cache lookup at every step boundary (ablation).
+        self.index_links = index_links
+        # Optional per-action replay counts; enable with profile().
+        self.action_profile: dict[int, int] | None = None
+
+    def profile(self, enabled: bool = True) -> None:
+        """Count fast-engine executions per action number (hot-action
+        analysis; see repro.facile.inspect.hot_actions)."""
+        self.action_profile = {} if enabled else None
+
+    def _freeze_key(self, raw) -> tuple:
+        # When init is written by a flush action the stored value is
+        # already a frozen tuple, so the deep conversion can be skipped.
+        if self.compiled.init_flushed and type(raw) is tuple:
+            key = raw
+        else:
+            key = freeze(raw)
+        if self.compiled.param_count > 1:
+            if not isinstance(key, tuple) or len(key) != self.compiled.param_count:
+                raise SimulationError(
+                    f"init must hold a {self.compiled.param_count}-tuple key"
+                )
+            return key
+        return (key,)
+
+    def next_key(self) -> tuple:
+        return self._freeze_key(self.ctx.S[self.compiled.init_slot])
+
+    def run(self, max_steps: int | None = None) -> RunStats:
+        ctx = self.ctx
+        S = ctx.S
+        init_slot = self.compiled.init_slot
+        cache = self.cache
+        steps = 0
+        last_end: EndRecord | None = None
+        while not ctx.halted and (max_steps is None or steps < max_steps):
+            raw = S[init_slot]
+            entry = None
+            if last_end is not None and self.index_links:
+                cached = last_end.likely_next
+                if (
+                    cached is not None
+                    and cached[0] is raw
+                    and cached[1].generation == cache.generation
+                ):
+                    entry = cached[1]
+                    cache.stats.lookups += 1
+                    cache.stats.hits += 1
+            if entry is None:
+                key = self._freeze_key(raw)
+                entry = cache.lookup(key)
+                if entry is not None and last_end is not None:
+                    last_end.likely_next = (raw, entry)
+            if entry is None:
+                cache.stats.misses_new_key += 1
+                self._slow_step(key)
+                self.stats.steps_slow += 1
+                last_end = None
+            else:
+                end = self._fast_step(entry)
+                if end is None:
+                    self.stats.steps_recovered += 1
+                    last_end = None
+                else:
+                    self.stats.steps_fast += 1
+                    last_end = end
+            steps += 1
+            self.stats.steps_total += 1
+            if cache.maybe_clear():
+                last_end = None
+        return self.stats
+
+    # -- slow path -------------------------------------------------------
+
+    def _slow_step(self, key: tuple) -> None:
+        M = self.memoizer
+        M.begin_step(key)
+        args = [thaw(v) for v in key]
+        self.compiled.slow_main(self.ctx, M, *args)
+        M.end_step()
+
+    # -- fast path -------------------------------------------------------
+
+    def _fast_step(self, entry: CacheEntry) -> EndRecord | None:
+        """Replay one step.
+
+        Returns the chain's end record on a clean replay, or None when
+        an action-cache miss forced recovery through the slow engine.
+        """
+        ctx = self.ctx
+        S = ctx.S
+        actions = self.compiled.fast_actions
+        consumed: list = []
+        rec = entry.first
+        ctx.in_fast = True
+        replayed = 0
+        prof = self.action_profile
+        try:
+            while rec is not None and not rec.is_end:
+                if prof is not None:
+                    prof[rec.num] = prof.get(rec.num, 0) + 1
+                fn, is_verify = actions[rec.num]
+                if is_verify:
+                    value = freeze(fn(ctx, S, rec.data))
+                    nxt = rec.succ.get(value)
+                    replayed += 1
+                    if nxt is None:
+                        # Action cache miss: return to the slow simulator.
+                        consumed.append(value)
+                        self.cache.stats.misses_verify += 1
+                        self.stats.actions_replayed += replayed
+                        self._recover(entry, consumed)
+                        return None
+                    consumed.append(value)
+                    rec = nxt
+                else:
+                    fn(ctx, S, rec.data)
+                    replayed += 1
+                    rec = rec.next
+        finally:
+            ctx.in_fast = False
+        self.stats.actions_replayed += replayed
+        if rec is None:
+            raise SimulationError("recorded action chain ended without an end marker")
+        return rec
+
+    def _recover(self, entry: CacheEntry, results: list) -> None:
+        self.ctx.in_fast = False
+        M = self.memoizer
+        M.begin_recovery(entry, results)
+        args = [thaw(v) for v in entry.key]
+        self.compiled.slow_main(self.ctx, M, *args)
+        M.end_step()
+
+    # -- reporting --------------------------------------------------------
+
+    def fast_forward_fraction(self) -> float:
+        """Fraction of retired instructions simulated by the fast engine
+        (the paper's Table 1 metric)."""
+        if self.ctx.retired_total == 0:
+            return 0.0
+        return self.ctx.retired_fast / self.ctx.retired_total
+
+
+class PlainEngine:
+    """Driver for the non-memoized build: the complete simulator only,
+    with no recording machinery at all (paper §6.2: "only the slow
+    simulator was generated, with no extra code for fast-forwarding")."""
+
+    def __init__(self, compiled: CompiledSimulator, ctx: SimContext):
+        if compiled.plain_main is None:
+            raise SimulationError("simulator was compiled without a plain build")
+        self.compiled = compiled
+        self.ctx = ctx
+        self.stats = RunStats()
+
+    def next_key(self) -> tuple:
+        value = freeze(self.ctx.S[self.compiled.init_slot])
+        if self.compiled.param_count > 1:
+            return value
+        return (value,)
+
+    def run(self, max_steps: int | None = None) -> RunStats:
+        ctx = self.ctx
+        steps = 0
+        while not ctx.halted and (max_steps is None or steps < max_steps):
+            key = self.next_key()
+            args = [thaw(v) for v in key]
+            self.compiled.plain_main(ctx, *args)
+            steps += 1
+            self.stats.steps_total += 1
+            self.stats.steps_slow += 1
+        return self.stats

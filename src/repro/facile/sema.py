@@ -1,0 +1,335 @@
+"""Semantic analysis for Facile.
+
+Checks performed here, before any binding-time work:
+
+* symbol resolution — every name is a global ``val``, a local ``val``,
+  a function parameter, a token field (inside a ``sem`` body or a
+  ``pat`` switch arm), a ``fun``, an ``extern``, or a built-in;
+* arity checking for calls and attribute applications;
+* the language restrictions that make the paper's analyses tractable:
+  **no recursion** (the call graph must be acyclic, §3.2) — pointers do
+  not exist in the syntax, so nothing to check there;
+* structural rules: ``break``/``continue`` only inside loops, ``sem``
+  bodies attach to declared patterns, a step function ``main`` exists
+  when compiling a simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import ast_nodes as A
+from .builtins import BUILTIN_FUNCS, CONTROL_ATTRS, PURE_ATTRS, QUEUE_ATTRS, STREAM_ATTRS, known_attr
+from .patterns import PatternTable, build_pattern_table
+from .source import SemanticError
+
+
+@dataclass
+class ProgramInfo:
+    """Resolved program: symbol tables shared by all later phases."""
+
+    program: A.Program
+    patterns: PatternTable
+    sems: dict[str, A.SemDecl] = field(default_factory=dict)
+    functions: dict[str, A.FunDecl] = field(default_factory=dict)
+    externs: dict[str, A.ExternDecl] = field(default_factory=dict)
+    globals: dict[str, A.GlobalVal] = field(default_factory=dict)
+    call_order: list[str] = field(default_factory=list)  # reverse topological
+
+
+class _Scope:
+    def __init__(self, parent: "_Scope | None" = None):
+        self.parent = parent
+        self.names: set[str] = set()
+
+    def declare(self, name: str) -> None:
+        self.names.add(name)
+
+    def defined(self, name: str) -> bool:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.names:
+                return True
+            scope = scope.parent
+        return False
+
+
+class Analyzer:
+    """Runs all semantic checks over a parsed program."""
+
+    def __init__(self, program: A.Program):
+        self.program = program
+        self.patterns = build_pattern_table(program)
+        self.info = ProgramInfo(program, self.patterns)
+
+    def analyze(self, require_main: bool = True) -> ProgramInfo:
+        self._collect_decls()
+        self._check_call_graph()
+        for decl in self.program.decls:
+            if isinstance(decl, A.GlobalVal) and decl.init is not None:
+                self._check_expr(decl.init, _Scope(), in_pattern=None, loop_depth=0)
+        for sem in self.info.sems.values():
+            scope = _Scope()
+            self._check_block(sem.body, scope, in_pattern=sem.pat_name, loop_depth=0)
+        for fun in self.info.functions.values():
+            scope = _Scope()
+            for p in fun.params:
+                scope.declare(p)
+            self._check_block(fun.body, scope, in_pattern=None, loop_depth=0)
+        if require_main and "main" not in self.info.functions:
+            raise SemanticError("simulator has no 'main' step function")
+        return self.info
+
+    # -- declaration collection ----------------------------------------
+
+    def _collect_decls(self) -> None:
+        info = self.info
+        for decl in self.program.decls:
+            if isinstance(decl, A.SemDecl):
+                if decl.pat_name not in self.patterns.by_name:
+                    raise SemanticError(
+                        f"sem for unknown pattern {decl.pat_name!r}", decl.span
+                    )
+                if decl.pat_name in info.sems:
+                    raise SemanticError(
+                        f"duplicate sem for pattern {decl.pat_name!r}", decl.span
+                    )
+                info.sems[decl.pat_name] = decl
+            elif isinstance(decl, A.FunDecl):
+                self._declare_unique(decl.name, decl)
+                info.functions[decl.name] = decl
+            elif isinstance(decl, A.ExternDecl):
+                self._declare_unique(decl.name, decl)
+                info.externs[decl.name] = decl
+            elif isinstance(decl, A.GlobalVal):
+                self._declare_unique(decl.name, decl)
+                info.globals[decl.name] = decl
+
+    def _declare_unique(self, name: str, decl: A.Decl) -> None:
+        info = self.info
+        if name in info.functions or name in info.externs or name in info.globals:
+            raise SemanticError(f"duplicate declaration of {name!r}", decl.span)
+        if name in BUILTIN_FUNCS:
+            raise SemanticError(f"{name!r} shadows a built-in function", decl.span)
+        if name in self.patterns.fields:
+            raise SemanticError(f"{name!r} shadows a token field", decl.span)
+
+    # -- recursion check ------------------------------------------------
+
+    def _check_call_graph(self) -> None:
+        """Verify the fun call graph (sems included) is acyclic.
+
+        Also records a reverse-topological ordering used by the inliner.
+        Direct calls only: Facile has no function values, so the static
+        call graph is exact.
+        """
+        edges: dict[str, set[str]] = {name: set() for name in self.info.functions}
+
+        def collect(name: str, node: A.Node) -> None:
+            for child in _walk(node):
+                if isinstance(child, A.Call) and child.func in self.info.functions:
+                    edges[name].add(child.func)
+
+        for name, fun in self.info.functions.items():
+            collect(name, fun.body)
+        # sem bodies may call funs; they are reachable from ?exec sites,
+        # but cannot themselves be recursion roots (sems are not callable),
+        # except that a fun called from a sem may contain ?exec again —
+        # ?exec inside sem bodies is rejected by the inliner, so the fun
+        # graph alone decides acyclicity.
+
+        state: dict[str, int] = {}
+        order: list[str] = []
+
+        def visit(name: str, stack: list[str]) -> None:
+            mark = state.get(name, 0)
+            if mark == 1:
+                cycle = " -> ".join(stack[stack.index(name):] + [name])
+                raise SemanticError(
+                    f"recursion is not allowed in Facile (cycle: {cycle})",
+                    self.info.functions[name].span,
+                )
+            if mark == 2:
+                return
+            state[name] = 1
+            stack.append(name)
+            for callee in sorted(edges[name]):
+                visit(callee, stack)
+            stack.pop()
+            state[name] = 2
+            order.append(name)
+
+        for name in self.info.functions:
+            visit(name, [])
+        self.info.call_order = order
+
+    # -- statement / expression checks -----------------------------------
+
+    def _check_block(self, block: A.Block, scope: _Scope, in_pattern: str | None, loop_depth: int) -> None:
+        inner = _Scope(scope)
+        for stmt in block.stmts:
+            self._check_stmt(stmt, inner, in_pattern, loop_depth)
+
+    def _check_stmt(self, stmt: A.Stmt, scope: _Scope, in_pattern: str | None, loop_depth: int) -> None:
+        if isinstance(stmt, A.Block):
+            self._check_block(stmt, scope, in_pattern, loop_depth)
+        elif isinstance(stmt, A.ValStmt):
+            if stmt.init is not None:
+                self._check_expr(stmt.init, scope, in_pattern, loop_depth)
+            scope.declare(stmt.name)
+        elif isinstance(stmt, A.Assign):
+            self._check_expr(stmt.value, scope, in_pattern, loop_depth)
+            target = stmt.target
+            if isinstance(target, A.Index):
+                self._check_expr(target, scope, in_pattern, loop_depth)
+            elif isinstance(target, A.Name):
+                if not self._name_defined(target.ident, scope, in_pattern):
+                    raise SemanticError(f"assignment to undefined name {target.ident!r}", target.span)
+                if target.ident in self.patterns.fields:
+                    raise SemanticError(f"cannot assign to token field {target.ident!r}", target.span)
+        elif isinstance(stmt, A.ExprStmt):
+            self._check_expr(stmt.expr, scope, in_pattern, loop_depth)
+        elif isinstance(stmt, A.If):
+            self._check_expr(stmt.cond, scope, in_pattern, loop_depth)
+            self._check_stmt(stmt.then_body, _Scope(scope), in_pattern, loop_depth)
+            if stmt.else_body is not None:
+                self._check_stmt(stmt.else_body, _Scope(scope), in_pattern, loop_depth)
+        elif isinstance(stmt, A.Switch):
+            self._check_expr(stmt.scrutinee, scope, in_pattern, loop_depth)
+            seen_default = False
+            for case in stmt.cases:
+                if case.kind == "default":
+                    if seen_default:
+                        raise SemanticError("multiple default cases", case.span)
+                    seen_default = True
+                elif case.kind == "pat":
+                    for name in case.pat_names:
+                        if name not in self.patterns.by_name:
+                            raise SemanticError(f"unknown pattern {name!r} in switch", case.span)
+                else:
+                    for value in case.values:
+                        self._check_expr(value, scope, in_pattern, loop_depth)
+                arm_pattern = case.pat_names[0] if case.kind == "pat" else in_pattern
+                self._check_block(case.body, _Scope(scope), arm_pattern, loop_depth)
+        elif isinstance(stmt, A.While):
+            self._check_expr(stmt.cond, scope, in_pattern, loop_depth)
+            self._check_stmt(stmt.body, _Scope(scope), in_pattern, loop_depth + 1)
+        elif isinstance(stmt, A.DoWhile):
+            self._check_stmt(stmt.body, _Scope(scope), in_pattern, loop_depth + 1)
+            self._check_expr(stmt.cond, scope, in_pattern, loop_depth)
+        elif isinstance(stmt, A.For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner, in_pattern, loop_depth)
+            if stmt.cond is not None:
+                self._check_expr(stmt.cond, inner, in_pattern, loop_depth)
+            if stmt.step is not None:
+                self._check_stmt(stmt.step, inner, in_pattern, loop_depth + 1)
+            self._check_stmt(stmt.body, _Scope(inner), in_pattern, loop_depth + 1)
+        elif isinstance(stmt, (A.Break, A.Continue)):
+            if loop_depth == 0:
+                kind = "break" if isinstance(stmt, A.Break) else "continue"
+                raise SemanticError(f"{kind} outside of a loop", stmt.span)
+        elif isinstance(stmt, A.Return):
+            if stmt.value is not None:
+                self._check_expr(stmt.value, scope, in_pattern, loop_depth)
+        else:
+            raise SemanticError(f"unhandled statement {type(stmt).__name__}", stmt.span)
+
+    def _name_defined(self, name: str, scope: _Scope, in_pattern: str | None) -> bool:
+        if scope.defined(name):
+            return True
+        if name in self.info.globals:
+            return True
+        if in_pattern is not None and name in self.patterns.fields:
+            return True
+        return False
+
+    def _check_expr(self, expr: A.Expr, scope: _Scope, in_pattern: str | None, loop_depth: int) -> None:
+        if isinstance(expr, (A.IntLit, A.BoolLit, A.StrLit, A.QueueNew)):
+            return
+        if isinstance(expr, A.Name):
+            if not self._name_defined(expr.ident, scope, in_pattern):
+                raise SemanticError(f"undefined name {expr.ident!r}", expr.span)
+            return
+        if isinstance(expr, A.Unary):
+            self._check_expr(expr.operand, scope, in_pattern, loop_depth)
+            return
+        if isinstance(expr, A.Binary):
+            self._check_expr(expr.left, scope, in_pattern, loop_depth)
+            self._check_expr(expr.right, scope, in_pattern, loop_depth)
+            return
+        if isinstance(expr, A.Index):
+            self._check_expr(expr.base, scope, in_pattern, loop_depth)
+            self._check_expr(expr.index, scope, in_pattern, loop_depth)
+            return
+        if isinstance(expr, A.Call):
+            self._check_call(expr, scope, in_pattern, loop_depth)
+            return
+        if isinstance(expr, A.Attr):
+            self._check_attr(expr, scope, in_pattern, loop_depth)
+            return
+        if isinstance(expr, A.ArrayNew):
+            self._check_expr(expr.size, scope, in_pattern, loop_depth)
+            self._check_expr(expr.init, scope, in_pattern, loop_depth)
+            return
+        if isinstance(expr, A.TupleLit):
+            for item in expr.items:
+                self._check_expr(item, scope, in_pattern, loop_depth)
+            return
+        raise SemanticError(f"unhandled expression {type(expr).__name__}", expr.span)
+
+    def _check_call(self, expr: A.Call, scope: _Scope, in_pattern: str | None, loop_depth: int) -> None:
+        name = expr.func
+        arity: int | None = None
+        if name in self.info.functions:
+            arity = len(self.info.functions[name].params)
+        elif name in self.info.externs:
+            arity = self.info.externs[name].arity
+        elif name in BUILTIN_FUNCS:
+            arity = BUILTIN_FUNCS[name].arity
+        else:
+            raise SemanticError(f"call to undefined function {name!r}", expr.span)
+        if len(expr.args) != arity:
+            raise SemanticError(
+                f"{name!r} expects {arity} argument(s), got {len(expr.args)}", expr.span
+            )
+        for arg in expr.args:
+            self._check_expr(arg, scope, in_pattern, loop_depth)
+
+    def _check_attr(self, expr: A.Attr, scope: _Scope, in_pattern: str | None, loop_depth: int) -> None:
+        name = expr.name
+        if not known_attr(name):
+            raise SemanticError(f"unknown attribute ?{name}", expr.span)
+        if name in PURE_ATTRS:
+            arity = PURE_ATTRS[name]
+        elif name in STREAM_ATTRS:
+            arity = STREAM_ATTRS[name]
+        elif name in CONTROL_ATTRS:
+            arity = CONTROL_ATTRS[name]
+        else:
+            arity = QUEUE_ATTRS[name][0]
+        if len(expr.args) != arity:
+            raise SemanticError(
+                f"?{name} expects {arity} argument(s), got {len(expr.args)}", expr.span
+            )
+        self._check_expr(expr.base, scope, in_pattern, loop_depth)
+        for arg in expr.args:
+            self._check_expr(arg, scope, in_pattern, loop_depth)
+
+
+def _walk(node: A.Node):
+    """Yield every AST node reachable from `node`, including itself."""
+    yield node
+    for value in vars(node).values():
+        if isinstance(value, A.Node):
+            yield from _walk(value)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, A.Node):
+                    yield from _walk(item)
+
+
+def analyze(program: A.Program, require_main: bool = True) -> ProgramInfo:
+    """Run semantic analysis and return resolved program info."""
+    return Analyzer(program).analyze(require_main=require_main)

@@ -1,0 +1,83 @@
+"""Source buffers, positions, and diagnostics for the Facile compiler.
+
+Every front-end error raised by the compiler is a :class:`FacileError`
+carrying a :class:`SourceSpan`, so callers (tests, the CLI examples) can
+render precise, human-readable messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A half-open [start, end) range of characters in a source buffer."""
+
+    filename: str
+    line: int
+    column: int
+    start: int
+    end: int
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+UNKNOWN_SPAN = SourceSpan("<unknown>", 0, 0, 0, 0)
+
+
+class FacileError(Exception):
+    """Base class for all errors reported by the Facile compiler."""
+
+    def __init__(self, message: str, span: SourceSpan = UNKNOWN_SPAN):
+        super().__init__(f"{span}: {message}")
+        self.message = message
+        self.span = span
+
+
+class LexError(FacileError):
+    """Raised for malformed lexemes (bad numbers, stray characters)."""
+
+
+class ParseError(FacileError):
+    """Raised when the token stream does not match the grammar."""
+
+
+class SemanticError(FacileError):
+    """Raised by semantic analysis (unknown names, type errors, recursion)."""
+
+
+class SourceBuffer:
+    """A named source text with line/column bookkeeping."""
+
+    def __init__(self, text: str, filename: str = "<facile>"):
+        self.text = text
+        self.filename = filename
+        self._line_starts = [0]
+        for i, ch in enumerate(text):
+            if ch == "\n":
+                self._line_starts.append(i + 1)
+
+    def span(self, start: int, end: int) -> SourceSpan:
+        """Build a span for text[start:end], computing line/column lazily."""
+        line = self._line_of(start)
+        column = start - self._line_starts[line - 1] + 1
+        return SourceSpan(self.filename, line, column, start, end)
+
+    def _line_of(self, offset: int) -> int:
+        lo, hi = 0, len(self._line_starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._line_starts[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo + 1
+
+    def line_text(self, line: int) -> str:
+        start = self._line_starts[line - 1]
+        end = self.text.find("\n", start)
+        if end < 0:
+            end = len(self.text)
+        return self.text[start:end]

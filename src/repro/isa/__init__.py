@@ -1,0 +1,17 @@
+"""SPARC-lite target ISA: tables, assembler, loader, functional simulator."""
+
+from .assembler import Assembler, AssemblerError, assemble
+from .disasm import disassemble, disassemble_program
+from .funcsim import FunctionalSim, StepInfo
+from .program import Program
+
+__all__ = [
+    "Assembler",
+    "AssemblerError",
+    "FunctionalSim",
+    "Program",
+    "StepInfo",
+    "assemble",
+    "disassemble",
+    "disassemble_program",
+]

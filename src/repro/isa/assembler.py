@@ -1,0 +1,382 @@
+"""A two-pass assembler for SPARC-lite.
+
+Accepts conventional SPARC assembly syntax for the supported subset:
+
+.. code-block:: asm
+
+        .text
+    start:
+        set     100, %o0
+    loop:
+        subcc   %o0, 1, %o0
+        bne     loop
+        nop                     ! delay slot
+        halt
+        .data
+    buf:
+        .word   1, 2, 3
+        .space  64
+
+Supported directives: ``.text``, ``.data``, ``.org ADDR``, ``.word``,
+``.byte``, ``.space N``, ``.align N``.  Comments start with ``!`` or
+``#`` or ``;``.
+
+Pseudo-instructions: ``set imm, %rd`` (sethi+or as needed), ``mov``,
+``cmp``, ``tst``, ``nop``, ``b label`` (== ``ba``), ``ret`` (==
+``jmpl %o7 + 8, %g0``), ``clr %rd``, ``inc``/``dec``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from . import sparclite as S
+from .program import DEFAULT_DATA_BASE, DEFAULT_TEXT_BASE, Program
+
+
+class AssemblerError(Exception):
+    def __init__(self, message: str, line_no: int | None = None):
+        where = f"line {line_no}: " if line_no is not None else ""
+        super().__init__(where + message)
+        self.line_no = line_no
+
+
+@dataclass
+class _Item:
+    """One pending instruction or data item from pass one."""
+
+    section: str
+    addr: int
+    mnemonic: str
+    operands: list[str]
+    line_no: int
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_HI_RE = re.compile(r"^%hi\((.+)\)$")
+_LO_RE = re.compile(r"^%lo\((.+)\)$")
+
+
+class Assembler:
+    def __init__(self, text_base: int = DEFAULT_TEXT_BASE, data_base: int = DEFAULT_DATA_BASE):
+        self.text_base = text_base
+        self.data_base = data_base
+
+    def assemble(self, source: str) -> Program:
+        items, symbols, text_size, data_size = self._pass_one(source)
+        program = Program(
+            text_base=self.text_base,
+            data_base=self.data_base,
+            symbols=symbols,
+            entry=symbols.get("start", self.text_base),
+        )
+        program.text_words = [0] * (text_size // 4)
+        program.data_bytes = bytearray(data_size)
+        self._pass_two(items, symbols, program)
+        return program
+
+    # -- pass one: layout and symbol collection --------------------------------
+
+    def _pass_one(self, source: str):
+        symbols: dict[str, int] = {}
+        items: list[_Item] = []
+        section = "text"
+        pc = {"text": self.text_base, "data": self.data_base}
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw).strip()
+            while True:
+                m = _LABEL_RE.match(line)
+                if not m:
+                    break
+                label = m.group(1)
+                if label in symbols:
+                    raise AssemblerError(f"duplicate label {label!r}", line_no)
+                symbols[label] = pc[section]
+                line = line[m.end():].strip()
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = _split_operands(parts[1]) if len(parts) > 1 else []
+            if mnemonic.startswith("."):
+                pc[section] = self._directive_size(
+                    mnemonic, operands, section, pc, items, line_no
+                )
+                if mnemonic == ".text":
+                    section = "text"
+                elif mnemonic == ".data":
+                    section = "data"
+                continue
+            item = _Item(section, pc[section], mnemonic, operands, line_no)
+            items.append(item)
+            pc[section] += self._instr_size(item)
+        text_size = pc["text"] - self.text_base
+        data_size = pc["data"] - self.data_base
+        return items, symbols, text_size, data_size
+
+    def _directive_size(self, mnemonic, operands, section, pc, items, line_no) -> int:
+        addr = pc[section]
+        if mnemonic in (".text", ".data"):
+            return addr
+        if mnemonic == ".org":
+            target = int(operands[0], 0)
+            if target < addr:
+                raise AssemblerError(".org cannot move backwards", line_no)
+            if section == "text" and (target - self.text_base) % 4:
+                raise AssemblerError(".org must stay word aligned in .text", line_no)
+            # Represent the gap with padding items so pass two can skip it.
+            items.append(_Item(section, addr, ".pad", [str(target - addr)], line_no))
+            return target
+        if mnemonic == ".word":
+            items.append(_Item(section, addr, ".word", operands, line_no))
+            return addr + 4 * len(operands)
+        if mnemonic == ".byte":
+            items.append(_Item(section, addr, ".byte", operands, line_no))
+            return addr + len(operands)
+        if mnemonic == ".space":
+            n = int(operands[0], 0)
+            items.append(_Item(section, addr, ".pad", [str(n)], line_no))
+            return addr + n
+        if mnemonic == ".align":
+            n = int(operands[0], 0)
+            new = (addr + n - 1) // n * n
+            items.append(_Item(section, addr, ".pad", [str(new - addr)], line_no))
+            return new
+        raise AssemblerError(f"unknown directive {mnemonic!r}", line_no)
+
+    def _instr_size(self, item: _Item) -> int:
+        if item.section != "text":
+            raise AssemblerError("instructions must be in .text", item.line_no)
+        if item.mnemonic == "set":
+            # Worst case sethi + or; sized in pass one using the operand
+            # when it is a literal, 8 bytes when it is a symbol.
+            value = _try_int(item.operands[0])
+            if value is not None and -4096 <= value <= 4095:
+                return 4
+            return 8
+        return 4
+
+    # -- pass two: encoding -----------------------------------------------------
+
+    def _pass_two(self, items: list[_Item], symbols: dict[str, int], program: Program) -> None:
+        for item in items:
+            if item.mnemonic == ".pad":
+                continue
+            if item.mnemonic == ".word":
+                for k, text in enumerate(item.operands):
+                    value = self._value(text, symbols, item.line_no) & 0xFFFFFFFF
+                    self._store_data_word(program, item.addr + 4 * k, value, item)
+                continue
+            if item.mnemonic == ".byte":
+                for k, text in enumerate(item.operands):
+                    value = self._value(text, symbols, item.line_no) & 0xFF
+                    self._store_data_byte(program, item.addr + k, value, item)
+                continue
+            for offset, word in enumerate(self._encode(item, symbols)):
+                index = (item.addr + 4 * offset - program.text_base) // 4
+                program.text_words[index] = word
+
+    def _store_data_word(self, program: Program, addr: int, value: int, item: _Item) -> None:
+        if item.section == "text":
+            program.text_words[(addr - program.text_base) // 4] = value
+        else:
+            off = addr - program.data_base
+            program.data_bytes[off : off + 4] = value.to_bytes(4, "little")
+
+    def _store_data_byte(self, program: Program, addr: int, value: int, item: _Item) -> None:
+        if item.section == "text":
+            raise AssemblerError(".byte not supported in .text", item.line_no)
+        program.data_bytes[addr - program.data_base] = value
+
+    def _value(self, text: str, symbols: dict[str, int], line_no: int) -> int:
+        text = text.strip()
+        m = _HI_RE.match(text)
+        if m:
+            return (self._value(m.group(1), symbols, line_no) >> 10) & 0x3FFFFF
+        m = _LO_RE.match(text)
+        if m:
+            return self._value(m.group(1), symbols, line_no) & 0x3FF
+        value = _try_int(text)
+        if value is not None:
+            return value
+        if text in symbols:
+            return symbols[text]
+        raise AssemblerError(f"undefined symbol {text!r}", line_no)
+
+    # -- instruction encoding ---------------------------------------------------
+
+    def _encode(self, item: _Item, symbols: dict[str, int]) -> list[int]:
+        name = item.mnemonic
+        ops = item.operands
+        line = item.line_no
+        annul = False
+        if name.endswith(",a"):
+            annul = True
+            name = name[:-2]
+
+        # Pseudo-instructions first.
+        if name == "nop":
+            return [S.enc_sethi(0, 0)]
+        if name == "halt":
+            return [S.enc_arith_imm(S.ARITH_BY_NAME["halt"].op3, 0, 0, 0)]
+        if name == "set":
+            return self._encode_set(ops, symbols, line)
+        if name == "mov":
+            value, rd = self._operand(ops[0], symbols, line), S.parse_register(ops[1])
+            return [self._alu("or", 0, value, rd, line)]
+        if name == "clr":
+            return [S.enc_arith_reg(S.ARITH_BY_NAME["or"].op3, S.parse_register(ops[0]), 0, 0)]
+        if name == "cmp":
+            a = S.parse_register(ops[0])
+            b = self._operand(ops[1], symbols, line)
+            return [self._alu("subcc", a, b, 0, line)]
+        if name == "tst":
+            return [S.enc_arith_reg(S.ARITH_BY_NAME["orcc"].op3, 0, 0, S.parse_register(ops[0]))]
+        if name == "inc":
+            rd = S.parse_register(ops[-1])
+            amount = 1 if len(ops) == 1 else self._value(ops[0], symbols, line)
+            return [S.enc_arith_imm(S.ARITH_BY_NAME["add"].op3, rd, rd, amount)]
+        if name == "dec":
+            rd = S.parse_register(ops[-1])
+            amount = 1 if len(ops) == 1 else self._value(ops[0], symbols, line)
+            return [S.enc_arith_imm(S.ARITH_BY_NAME["sub"].op3, rd, rd, amount)]
+        if name == "ret":
+            return [S.enc_arith_imm(S.ARITH_BY_NAME["jmpl"].op3, 0, 15, 8)]
+        if name == "b":
+            name = "ba"
+
+        if name in S.COND_BY_NAME:
+            target = self._value(ops[0], symbols, line)
+            disp = (target - item.addr) // 4
+            if not -(1 << 21) <= disp < (1 << 21):
+                raise AssemblerError("branch target out of range", line)
+            return [S.enc_branch(S.COND_BY_NAME[name].cond, disp, annul)]
+        if name == "call":
+            target = self._value(ops[0], symbols, line)
+            disp = (target - item.addr) // 4
+            return [S.enc_call(disp)]
+        if name == "sethi":
+            imm = self._value(ops[0], symbols, line)
+            rd = S.parse_register(ops[1])
+            return [S.enc_sethi(rd, imm)]
+        if name == "jmpl":
+            rs1, second = self._address(ops[0], symbols, line, allow_bare=True)
+            rd = S.parse_register(ops[1])
+            if isinstance(second, int):
+                return [S.enc_arith_imm(S.ARITH_BY_NAME["jmpl"].op3, rd, rs1, second)]
+            return [S.enc_arith_reg(S.ARITH_BY_NAME["jmpl"].op3, rd, rs1, second[0])]
+        if name in S.ARITH_BY_NAME:
+            rs1 = S.parse_register(ops[0])
+            second = self._operand(ops[1], symbols, line)
+            rd = S.parse_register(ops[2])
+            return [self._alu(name, rs1, second, rd, line)]
+        if name in S.MEM_BY_NAME:
+            spec = S.MEM_BY_NAME[name]
+            if spec.is_store:
+                rd = S.parse_register(ops[0])
+                rs1, second = self._address(ops[1], symbols, line)
+            else:
+                rs1, second = self._address(ops[0], symbols, line)
+                rd = S.parse_register(ops[1])
+            if isinstance(second, int):
+                return [S.enc_mem_imm(spec.op3, rd, rs1, second)]
+            return [S.enc_mem_reg(spec.op3, rd, rs1, second[0])]
+        raise AssemblerError(f"unknown mnemonic {name!r}", line)
+
+    def _encode_set(self, ops: list[str], symbols: dict[str, int], line: int) -> list[int]:
+        # Width must match what pass one reserved: one word only when the
+        # operand is a *literal* that fits simm13, two words otherwise.
+        literal = _try_int(ops[0])
+        rd = S.parse_register(ops[1])
+        if literal is not None and -4096 <= literal <= 4095:
+            return [S.enc_arith_imm(S.ARITH_BY_NAME["or"].op3, rd, 0, literal)]
+        value = self._value(ops[0], symbols, line) & 0xFFFFFFFF
+        return [
+            S.enc_sethi(rd, value >> 10),
+            S.enc_arith_imm(S.ARITH_BY_NAME["or"].op3, rd, rd, value & 0x3FF),
+        ]
+
+    def _alu(self, name: str, rs1: int, second, rd: int, line: int) -> int:
+        spec = S.ARITH_BY_NAME[name]
+        if isinstance(second, int):
+            if not -4096 <= second <= 4095:
+                raise AssemblerError(f"immediate {second} out of simm13 range", line)
+            return S.enc_arith_imm(spec.op3, rd, rs1, second)
+        return S.enc_arith_reg(spec.op3, rd, rs1, second[0])
+
+    def _operand(self, text: str, symbols: dict[str, int], line: int):
+        """A register (returned as a 1-tuple) or an immediate int."""
+        text = text.strip()
+        if text.startswith("%") and not _HI_RE.match(text) and not _LO_RE.match(text):
+            return (S.parse_register(text),)
+        return self._value(text, symbols, line)
+
+    def _address(self, text: str, symbols: dict[str, int], line: int, allow_bare: bool = False):
+        """Parse ``[%rs1 + off]`` / ``[%rs1 + %rs2]`` / ``[%rs1]`` forms."""
+        text = text.strip()
+        if text.startswith("[") and text.endswith("]"):
+            text = text[1:-1].strip()
+        elif not allow_bare:
+            raise AssemblerError(f"expected [address] operand, got {text!r}", line)
+        for sep in ("+", "-"):
+            depth = 0
+            for idx, ch in enumerate(text):
+                if ch == "(":
+                    depth += 1
+                elif ch == ")":
+                    depth -= 1
+                elif ch == sep and idx > 0 and depth == 0:
+                    left = text[:idx].strip()
+                    right = text[idx + 1 :].strip()
+                    rs1 = S.parse_register(left)
+                    second = self._operand(right, symbols, line)
+                    if sep == "-":
+                        if isinstance(second, tuple):
+                            raise AssemblerError("register offsets cannot be negated", line)
+                        second = -second
+                    return rs1, second
+        if text.startswith("%"):
+            return S.parse_register(text), 0
+        return 0, self._value(text, symbols, line)
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("!", "#", ";"):
+        idx = line.find(marker)
+        if idx >= 0:
+            line = line[:idx]
+    return line
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split on commas not inside brackets or parens."""
+    parts: list[str] = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _try_int(text: str) -> int | None:
+    try:
+        return int(text.strip(), 0)
+    except ValueError:
+        return None
+
+
+def assemble(source: str, **kwargs) -> Program:
+    """Assemble SPARC-lite source text into a :class:`Program`."""
+    return Assembler(**kwargs).assemble(source)

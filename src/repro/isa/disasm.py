@@ -1,0 +1,83 @@
+"""SPARC-lite disassembler.
+
+Renders instruction words back to the assembler's syntax; the test
+suite round-trips random encodings through
+``assemble(disassemble(word)) == word``, which pins the encoder and
+decoder against each other.  Used by the CLI's ``asm --disasm`` listing
+and handy when debugging generated workloads.
+"""
+
+from __future__ import annotations
+
+from . import sparclite as S
+
+
+def disassemble(word: int, pc: int = 0) -> str:
+    """One instruction word -> assembly text (labels become absolute
+    hex addresses, resolved relative to `pc`)."""
+    d = S.decode(word)
+    if d.kind == "call":
+        return f"call {pc + d.disp:#x}"
+    if d.kind == "sethi":
+        if word == S.enc_sethi(0, 0):
+            return "nop"
+        return f"sethi {d.imm:#x}, {S.register_name(d.rd)}"
+    if d.kind == "branch":
+        suffix = ",a" if d.annul else ""
+        return f"{d.name}{suffix} {pc + d.disp:#x}"
+    if d.kind == "halt":
+        return "halt"
+    if d.kind == "illegal":
+        return f".word {word:#010x}"
+    if d.kind == "arith":
+        return _arith(d)
+    if d.kind == "mem":
+        return _mem(d)
+    raise AssertionError(d.kind)
+
+
+def _operand2(d: S.Decoded) -> str:
+    return str(d.imm) if d.use_imm else S.register_name(d.rs2)
+
+
+def _arith(d: S.Decoded) -> str:
+    if d.name == "jmpl":
+        if d.use_imm and d.rs1 == 15 and d.imm == 8 and d.rd == 0:
+            return "ret"
+        if d.use_imm and d.imm == 0:
+            return f"jmpl {S.register_name(d.rs1)}, {S.register_name(d.rd)}"
+        base = S.register_name(d.rs1)
+        return f"jmpl {base} + {_operand2(d)}, {S.register_name(d.rd)}"
+    return (
+        f"{d.name} {S.register_name(d.rs1)}, {_operand2(d)}, {S.register_name(d.rd)}"
+    )
+
+
+def _mem(d: S.Decoded) -> str:
+    spec = S.MEM_BY_NAME[d.name]
+    if d.use_imm:
+        if d.imm == 0:
+            address = f"[{S.register_name(d.rs1)}]"
+        else:
+            sign = "+" if d.imm >= 0 else "-"
+            address = f"[{S.register_name(d.rs1)} {sign} {abs(d.imm)}]"
+    else:
+        address = f"[{S.register_name(d.rs1)} + {S.register_name(d.rs2)}]"
+    if spec.is_store:
+        return f"{d.name} {S.register_name(d.rd)}, {address}"
+    return f"{d.name} {address}, {S.register_name(d.rd)}"
+
+
+def disassemble_program(program, with_labels: bool = True) -> str:
+    """Disassemble a whole Program's text segment."""
+    by_addr: dict[int, list[str]] = {}
+    if with_labels:
+        for name, addr in program.symbols.items():
+            by_addr.setdefault(addr, []).append(name)
+    lines = []
+    for i, word in enumerate(program.text_words):
+        addr = program.text_base + 4 * i
+        for label in by_addr.get(addr, []):
+            lines.append(f"{label}:")
+        lines.append(f"    {addr:#010x}:  {word:08x}  {disassemble(word, addr)}")
+    return "\n".join(lines)

@@ -1,0 +1,295 @@
+"""SPARC-lite: the target instruction set for all simulators in this repo.
+
+The paper's simulators model SPARC V8/V9.  SPARC-lite is a faithful
+subset of SPARC V8's user-level integer ISA:
+
+* 32 general-purpose registers (``%g0``–``%i7``), with ``%g0`` wired to
+  zero and **no register windows** — ``save``/``restore`` assemble to
+  plain ``add`` on ``%sp`` (substitution documented in DESIGN.md);
+* the three V8 instruction formats (CALL; SETHI/Bicc; arithmetic and
+  load/store with register-or-simm13 second operand);
+* integer condition codes (NZVC) set by the ``cc`` variants and read by
+  all sixteen Bicc conditions, including the annul bit;
+* branch **delay slots**, exactly as on real SPARC;
+* a ``halt`` instruction (encoded in the Ticc slot) to end simulation.
+
+One table (:data:`INSTRUCTIONS`) drives the assembler, the Python
+functional simulator, and the generated Facile description, so the three
+cannot drift apart silently — and co-simulation tests check they agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Register names: %g0-7 -> r0-7, %o0-7 -> r8-15, %l0-7 -> r16-23,
+# %i0-7 -> r24-31.  Conventional aliases.
+REG_ALIASES = {
+    "sp": 14,
+    "fp": 30,
+    "ra": 15,  # call writes the return address to %o7 == r15
+}
+NUM_REGS = 32
+
+# Instruction classes for the timing models.
+CLS_IALU = 0
+CLS_MUL = 1
+CLS_DIV = 2
+CLS_LOAD = 3
+CLS_STORE = 4
+CLS_BRANCH = 5
+CLS_CALL = 6
+CLS_JMPL = 7
+CLS_HALT = 8
+CLS_SETHI = 9
+
+CLASS_NAMES = {
+    CLS_IALU: "ialu",
+    CLS_MUL: "mul",
+    CLS_DIV: "div",
+    CLS_LOAD: "load",
+    CLS_STORE: "store",
+    CLS_BRANCH: "branch",
+    CLS_CALL: "call",
+    CLS_JMPL: "jmpl",
+    CLS_HALT: "halt",
+    CLS_SETHI: "sethi",
+}
+
+
+@dataclass(frozen=True)
+class ArithOp:
+    """An op=2 (format 3) arithmetic instruction."""
+
+    name: str
+    op3: int
+    cls: int
+    sets_cc: bool = False
+    kind: str = "alu"  # alu | shift | jmpl | halt
+
+
+@dataclass(frozen=True)
+class MemOp:
+    """An op=3 (format 3) memory instruction."""
+
+    name: str
+    op3: int
+    cls: int
+    width: int  # bytes
+    is_store: bool
+    signed: bool = False
+
+
+@dataclass(frozen=True)
+class BranchCond:
+    name: str
+    cond: int
+
+
+ARITH_OPS: list[ArithOp] = [
+    ArithOp("add", 0x00, CLS_IALU),
+    ArithOp("and", 0x01, CLS_IALU),
+    ArithOp("or", 0x02, CLS_IALU),
+    ArithOp("xor", 0x03, CLS_IALU),
+    ArithOp("sub", 0x04, CLS_IALU),
+    ArithOp("addcc", 0x10, CLS_IALU, sets_cc=True),
+    ArithOp("andcc", 0x11, CLS_IALU, sets_cc=True),
+    ArithOp("orcc", 0x12, CLS_IALU, sets_cc=True),
+    ArithOp("xorcc", 0x13, CLS_IALU, sets_cc=True),
+    ArithOp("subcc", 0x14, CLS_IALU, sets_cc=True),
+    ArithOp("umul", 0x0A, CLS_MUL),
+    ArithOp("udiv", 0x0E, CLS_DIV),
+    ArithOp("sll", 0x25, CLS_IALU, kind="shift"),
+    ArithOp("srl", 0x26, CLS_IALU, kind="shift"),
+    ArithOp("sra", 0x27, CLS_IALU, kind="shift"),
+    ArithOp("jmpl", 0x38, CLS_JMPL, kind="jmpl"),
+    ArithOp("halt", 0x3A, CLS_HALT, kind="halt"),  # Ticc slot repurposed
+]
+
+MEM_OPS: list[MemOp] = [
+    MemOp("ld", 0x00, CLS_LOAD, 4, is_store=False),
+    MemOp("ldub", 0x01, CLS_LOAD, 1, is_store=False),
+    MemOp("lduh", 0x02, CLS_LOAD, 2, is_store=False),
+    MemOp("st", 0x04, CLS_STORE, 4, is_store=True),
+    MemOp("stb", 0x05, CLS_STORE, 1, is_store=True),
+    MemOp("sth", 0x06, CLS_STORE, 2, is_store=True),
+]
+
+BRANCH_CONDS: list[BranchCond] = [
+    BranchCond("bn", 0b0000),
+    BranchCond("be", 0b0001),
+    BranchCond("ble", 0b0010),
+    BranchCond("bl", 0b0011),
+    BranchCond("bleu", 0b0100),
+    BranchCond("bcs", 0b0101),
+    BranchCond("bneg", 0b0110),
+    BranchCond("bvs", 0b0111),
+    BranchCond("ba", 0b1000),
+    BranchCond("bne", 0b1001),
+    BranchCond("bg", 0b1010),
+    BranchCond("bge", 0b1011),
+    BranchCond("bgu", 0b1100),
+    BranchCond("bcc", 0b1101),
+    BranchCond("bpos", 0b1110),
+    BranchCond("bvc", 0b1111),
+]
+
+ARITH_BY_NAME = {op.name: op for op in ARITH_OPS}
+MEM_BY_NAME = {op.name: op for op in MEM_OPS}
+COND_BY_NAME = {c.name: c for c in BRANCH_CONDS}
+
+
+# -- encoding helpers -------------------------------------------------------------
+
+
+def enc_call(disp30: int) -> int:
+    return (1 << 30) | (disp30 & 0x3FFFFFFF)
+
+
+def enc_sethi(rd: int, imm22: int) -> int:
+    return (0 << 30) | (rd << 25) | (0b100 << 22) | (imm22 & 0x3FFFFF)
+
+
+def enc_branch(cond: int, disp22: int, annul: bool = False) -> int:
+    return (
+        (0 << 30)
+        | ((1 if annul else 0) << 29)
+        | (cond << 25)
+        | (0b010 << 22)
+        | (disp22 & 0x3FFFFF)
+    )
+
+
+def enc_arith_reg(op3: int, rd: int, rs1: int, rs2: int) -> int:
+    return (2 << 30) | (rd << 25) | (op3 << 19) | (rs1 << 14) | (0 << 13) | rs2
+
+
+def enc_arith_imm(op3: int, rd: int, rs1: int, simm13: int) -> int:
+    return (2 << 30) | (rd << 25) | (op3 << 19) | (rs1 << 14) | (1 << 13) | (simm13 & 0x1FFF)
+
+
+def enc_mem_reg(op3: int, rd: int, rs1: int, rs2: int) -> int:
+    return (3 << 30) | (rd << 25) | (op3 << 19) | (rs1 << 14) | (0 << 13) | rs2
+
+
+def enc_mem_imm(op3: int, rd: int, rs1: int, simm13: int) -> int:
+    return (3 << 30) | (rd << 25) | (op3 << 19) | (rs1 << 14) | (1 << 13) | (simm13 & 0x1FFF)
+
+
+# -- decoding (shared by the Python simulators) --------------------------------------
+
+
+@dataclass(frozen=True)
+class Decoded:
+    """A decoded SPARC-lite instruction."""
+
+    kind: str  # call | sethi | branch | arith | mem | halt | illegal
+    cls: int
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    use_imm: bool = False
+    imm: int = 0  # sign-extended simm13, or imm22 for sethi
+    op3: int = 0
+    cond: int = 0
+    annul: bool = False
+    disp: int = 0  # byte displacement for call/branch
+    name: str = ""
+
+
+def _sext(value: int, bits: int) -> int:
+    value &= (1 << bits) - 1
+    return value - (1 << bits) if value & (1 << (bits - 1)) else value
+
+
+_ARITH_BY_OP3 = {op.op3: op for op in ARITH_OPS}
+_MEM_BY_OP3 = {op.op3: op for op in MEM_OPS}
+
+
+def decode(word: int) -> Decoded:
+    """Reference decoder for SPARC-lite words."""
+    op = (word >> 30) & 3
+    if op == 1:
+        return Decoded(kind="call", cls=CLS_CALL, disp=_sext(word, 30) * 4, name="call")
+    if op == 0:
+        op2 = (word >> 22) & 7
+        rd = (word >> 25) & 31
+        if op2 == 0b100:
+            return Decoded(kind="sethi", cls=CLS_SETHI, rd=rd, imm=(word & 0x3FFFFF), name="sethi")
+        if op2 == 0b010:
+            cond = (word >> 25) & 0xF
+            annul = bool((word >> 29) & 1)
+            return Decoded(
+                kind="branch",
+                cls=CLS_BRANCH,
+                cond=cond,
+                annul=annul,
+                disp=_sext(word, 22) * 4,
+                name=_branch_name(cond),
+            )
+        return Decoded(kind="illegal", cls=CLS_HALT, name="illegal")
+    rd = (word >> 25) & 31
+    op3 = (word >> 19) & 0x3F
+    rs1 = (word >> 14) & 31
+    use_imm = bool((word >> 13) & 1)
+    rs2 = word & 31
+    imm = _sext(word, 13)
+    if op == 2:
+        spec = _ARITH_BY_OP3.get(op3)
+        if spec is None:
+            return Decoded(kind="illegal", cls=CLS_HALT, name="illegal")
+        kind = "halt" if spec.kind == "halt" else "arith"
+        return Decoded(
+            kind=kind,
+            cls=spec.cls,
+            rd=rd,
+            rs1=rs1,
+            rs2=rs2,
+            use_imm=use_imm,
+            imm=imm,
+            op3=op3,
+            name=spec.name,
+        )
+    spec_m = _MEM_BY_OP3.get(op3)
+    if spec_m is None:
+        return Decoded(kind="illegal", cls=CLS_HALT, name="illegal")
+    return Decoded(
+        kind="mem",
+        cls=spec_m.cls,
+        rd=rd,
+        rs1=rs1,
+        rs2=rs2,
+        use_imm=use_imm,
+        imm=imm,
+        op3=op3,
+        name=spec_m.name,
+    )
+
+
+def _branch_name(cond: int) -> str:
+    for c in BRANCH_CONDS:
+        if c.cond == cond:
+            return c.name
+    return "b?"
+
+
+def parse_register(text: str) -> int:
+    """Parse a register name: %g0-7, %o0-7, %l0-7, %i0-7, %r0-31, %sp, %fp."""
+    text = text.lower().lstrip("%")
+    if text in REG_ALIASES:
+        return REG_ALIASES[text]
+    bank = {"g": 0, "o": 8, "l": 16, "i": 24}
+    if text and text[0] in bank and text[1:].isdigit():
+        n = int(text[1:])
+        if 0 <= n <= 7:
+            return bank[text[0]] + n
+    if text.startswith("r") and text[1:].isdigit():
+        n = int(text[1:])
+        if 0 <= n < NUM_REGS:
+            return n
+    raise ValueError(f"bad register name {text!r}")
+
+
+def register_name(num: int) -> str:
+    banks = ["g", "o", "l", "i"]
+    return f"%{banks[num // 8]}{num % 8}"

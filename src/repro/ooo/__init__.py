@@ -1,0 +1,26 @@
+"""Out-of-order pipeline simulators: one model, three implementations."""
+
+from .common import MachineConfig, OooStats
+from .facile_ooo import FacileOooSim, compiled_ooo_sim, ooo_sim_source, run_facile_ooo
+from .facile_inorder import FacileInOrderSim, compiled_inorder_sim, run_facile_inorder
+from .fastsim import FastSimOoo, run_fastsim
+from .inorder import InOrderSim, run_inorder
+from .reference import ReferenceOooSim, run_reference
+
+__all__ = [
+    "FacileInOrderSim",
+    "FacileOooSim",
+    "FastSimOoo",
+    "InOrderSim",
+    "MachineConfig",
+    "OooStats",
+    "ReferenceOooSim",
+    "compiled_inorder_sim",
+    "compiled_ooo_sim",
+    "ooo_sim_source",
+    "run_facile_inorder",
+    "run_facile_ooo",
+    "run_fastsim",
+    "run_inorder",
+    "run_reference",
+]

@@ -1,0 +1,596 @@
+"""Hand-coded memoizing out-of-order simulator — the FastSim analogue.
+
+This implements the same micro-architecture model as
+:mod:`repro.ooo.reference`, but applies the paper's fast-forwarding
+technique *by hand* (as the original FastSim did, ASPLOS'98): per
+simulated cycle, the run-time static pipeline state forms a key into a
+memo table; the recorded value is the compact sequence of **dynamic
+events** the cycle performed:
+
+``STAT``    cycle/retire counter deltas (run-time static payload);
+``EXEC``    functionally execute one pre-decoded instruction;
+``ANNUL``   re-sequence past an annulled delay slot;
+``CACHE``   data-cache access — *dynamic result test* on the latency;
+``BPRED``   conditional-branch resolution — test on (taken, correct);
+``BIND``    indirect-jump resolution — test on (target, correct);
+``BCALL``   push a return address on the RAS.
+
+Replay applies events with no decode and no pipeline bookkeeping.  When
+a dynamic result test observes a value with no recorded continuation,
+the simulator recovers exactly as the paper describes (§2.1): it
+re-materializes the run-time static state from the entry key, re-runs
+the slow cycle feeding the already-replayed dynamic results back from a
+recovery list (never re-executing their effects or extern calls), and
+resumes normal recording at the miss fork.
+
+Per-key records form a tree: straight-line event runs with a dynamic
+result test at each fork, one successor per observed value — the same
+structure as Figure 2's specialized action cache.  Complete chains link
+cycle to cycle through ``next_key``, so steady-state execution replays
+entire loops without touching the bookkeeping at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa import sparclite as S
+from ..isa.funcsim import FunctionalSim
+from ..isa.program import Program
+from . import common as C
+
+# Event kinds.
+EV_STAT = 0
+EV_EXEC = 1
+EV_ANNUL = 2
+EV_CACHE = 3
+EV_BPRED = 4
+EV_BIND = 5
+EV_BCALL = 6
+
+CHECK_KINDS = frozenset((EV_CACHE, EV_BPRED, EV_BIND))
+
+
+class _Node:
+    """A run of non-test events ending in either a dynamic result test
+    (with per-value successor nodes) or the next cycle's key."""
+
+    __slots__ = ("events", "check", "succ", "next_key")
+
+    def __init__(self) -> None:
+        self.events: list[tuple] = []
+        self.check: tuple | None = None
+        self.succ: dict = {}
+        self.next_key: tuple | None = None
+
+
+@dataclass
+class MemoStats:
+    entries: int = 0
+    events_recorded: int = 0
+    events_replayed: int = 0
+    cycles_fast: int = 0
+    cycles_slow: int = 0
+    cycles_recovered: int = 0
+    misses_new_key: int = 0
+    misses_check: int = 0
+    bytes_estimate: int = 0
+    clears: int = 0
+
+
+@dataclass
+class _Entry:
+    cls: int
+    state: int
+    remaining: int
+    dep1: int
+    dep2: int
+    pc: int
+
+
+class FastSimOoo:
+    """The memoizing OOO simulator.  ``memoize=False`` degrades it to a
+    conventional simulator (the paper's 'without memoization' bars)."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: C.MachineConfig | None = None,
+        memoize: bool = True,
+        memo_limit_bytes: int | None = None,
+        cache=None,
+        predictor=None,
+    ):
+        self.config = config or C.MachineConfig()
+        default_cache, default_pred = C.default_uarch(self.config)
+        self.cache = cache if cache is not None else default_cache
+        self.predictor = predictor if predictor is not None else default_pred
+        self.func = FunctionalSim.for_program(program)
+        self.window: list[_Entry] = []
+        self.last_writer = [-1] * 33
+        self.stall = 0
+        self.fetch_halted = False
+        self.stats = C.OooStats()
+        self.memoize = memoize
+        self.memo: dict[tuple, _Node] = {}
+        self.memo_limit_bytes = memo_limit_bytes
+        self.mstats = MemoStats()
+        self.retired_fast = 0
+        self._decode_cache: dict[int, S.Decoded] = {}
+        self._pending_retire = 0
+
+    # -- key handling ----------------------------------------------------------
+
+    def state_key(self) -> tuple:
+        window_sig = tuple(
+            (e.cls, e.state, e.remaining, e.dep1, e.dep2, e.pc) for e in self.window
+        )
+        return (
+            window_sig,
+            tuple(self.last_writer),
+            self.func.pc,
+            self.func.npc,
+            self.func._annul_next,
+            self.stall,
+            self.fetch_halted,
+        )
+
+    def _materialize(self, key: tuple) -> None:
+        window_sig, lw, pc, npc, annul, stall, fetch_halted = key
+        self.window = [_Entry(*sig) for sig in window_sig]
+        self.last_writer = list(lw)
+        self.func.pc = pc
+        self.func.npc = npc
+        self.func._annul_next = annul
+        self.stall = stall
+        self.fetch_halted = fetch_halted
+
+    def _decode_at(self, pc: int) -> S.Decoded:
+        d = self._decode_cache.get(pc)
+        if d is None:
+            d = S.decode(self.func.mem.read32(pc))
+            self._decode_cache[pc] = d
+        return d
+
+    @staticmethod
+    def _key_is_done(key: tuple) -> bool:
+        return bool(key[6]) and not key[0]
+
+    # -- driving -----------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.fetch_halted and not self.window
+
+    def run(self, max_cycles: int = 10_000_000) -> C.OooStats:
+        if not self.memoize:
+            while not self.done and self.stats.cycles < max_cycles:
+                self._slow_cycle(record=False)
+            return self.stats
+        key = self.state_key()
+        while not self._key_is_done(key) and self.stats.cycles < max_cycles:
+            node = self.memo.get(key)
+            if node is None:
+                self.mstats.misses_new_key += 1
+                self.mstats.cycles_slow += 1
+                self._materialize(key)
+                root = _Node()
+                self.memo[key] = root
+                self.mstats.entries += 1
+                self.mstats.bytes_estimate += 8 * (8 + 6 * len(key[0]) + 33)
+                key = self._slow_cycle(record=True, root=root)
+            else:
+                key = self._replay(key, node)
+            self._maybe_clear()
+        self._materialize(key)
+        return self.stats
+
+    def _maybe_clear(self) -> None:
+        if (
+            self.memo_limit_bytes is not None
+            and self.mstats.bytes_estimate > self.memo_limit_bytes
+        ):
+            self.memo.clear()
+            self.mstats.bytes_estimate = 0
+            self.mstats.clears += 1
+
+    # -- fast replay ----------------------------------------------------------------
+
+    def _replay(self, key: tuple, node: _Node) -> tuple:
+        """Replay one recorded cycle; returns the next cycle's key."""
+        func = self.func
+        consumed: list[tuple] = []
+        last_info = None
+        while True:
+            for ev in node.events:
+                kind = ev[0]
+                if kind == EV_EXEC:
+                    last_info = func.exec_decoded(ev[2], ev[1])
+                elif kind == EV_STAT:
+                    self.stats.cycles += ev[1]
+                    self.stats.retired += ev[2]
+                    self.retired_fast += ev[2]
+                elif kind == EV_ANNUL:
+                    func.step()
+                else:  # EV_BCALL
+                    self.predictor.note_call(ev[1])
+                consumed.append((kind, None))
+            self.mstats.events_replayed += len(node.events)
+            if node.check is None:
+                break
+            kind, payload = node.check
+            value = self._perform_check(kind, payload, last_info)
+            consumed.append((kind, value))
+            self.mstats.events_replayed += 1
+            nxt = node.succ.get(value)
+            if nxt is None:
+                # Action-cache miss: recover via the slow simulator.
+                self.mstats.misses_check += 1
+                self.mstats.cycles_recovered += 1
+                self._materialize(key)
+                return self._slow_cycle(record=True, root=self.memo[key], recovery=consumed)
+            node = nxt
+        self.mstats.cycles_fast += 1
+        return node.next_key
+
+    def _perform_check(self, kind: int, payload, info) -> tuple | int:
+        if kind == EV_CACHE:
+            (is_store,) = payload
+            if is_store:
+                self.stats.stores += 1
+            else:
+                self.stats.loads += 1
+            return self.cache.access(info.mem_addr, self.stats.cycles, is_store)
+        if kind == EV_BPRED:
+            correct = self.predictor.resolve_branch(info.pc, info.taken)
+            self.stats.branches += 1
+            if not correct:
+                self.stats.mispredicts += 1
+            return (info.taken, correct)
+        # EV_BIND
+        (is_ret,) = payload
+        correct = self.predictor.resolve_indirect(info.pc, info.target, is_ret)
+        self.stats.branches += 1
+        if not correct:
+            self.stats.mispredicts += 1
+        return (info.target, correct)
+
+    # -- slow path (records; supports miss recovery) -----------------------------------
+
+    def _slow_cycle(self, record: bool, root: _Node | None = None,
+                    recovery: list | None = None) -> tuple:
+        rec = _Recorder(self, record, root, recovery)
+        self._phase_stat(rec)
+        self._phase_retire_norm()
+        self._phase_execute()
+        self._phase_issue()
+        self._phase_fetch(rec)
+        if not record:
+            return ()
+        next_key = self.state_key()
+        rec.finish(next_key)
+        return next_key
+
+    def _phase_stat(self, rec: "_Recorder") -> None:
+        k = 0
+        while (
+            k < self.config.retire_width
+            and k < len(self.window)
+            and self.window[k].state == C.ST_DONE
+        ):
+            k += 1
+        rec.stat(1, k)
+        self._pending_retire = k
+
+    def _phase_retire_norm(self) -> None:
+        k = self._pending_retire
+        if k == 0:
+            return
+        del self.window[:k]
+        for entry in self.window:
+            entry.dep1 = entry.dep1 - k if entry.dep1 >= k else -1
+            entry.dep2 = entry.dep2 - k if entry.dep2 >= k else -1
+        for reg in range(33):
+            w = self.last_writer[reg]
+            if w >= 0:
+                self.last_writer[reg] = w - k if w >= k else -1
+
+    def _phase_execute(self) -> None:
+        for entry in self.window:
+            if entry.state == C.ST_EXEC:
+                entry.remaining -= 1
+                if entry.remaining <= 0:
+                    entry.state = C.ST_DONE
+
+    def _phase_issue(self) -> None:
+        issued = 0
+        fu_used = {group: 0 for group in C.FU_CAPACITY}
+        for entry in self.window:
+            if issued >= self.config.issue_width:
+                break
+            if entry.state != C.ST_WAIT:
+                continue
+            dep1, dep2 = entry.dep1, entry.dep2
+            if dep1 >= 0 and self.window[dep1].state != C.ST_DONE:
+                continue
+            if dep2 >= 0 and self.window[dep2].state != C.ST_DONE:
+                continue
+            group = C.FU_GROUP[entry.cls]
+            if fu_used[group] >= C.FU_CAPACITY[group]:
+                continue
+            fu_used[group] += 1
+            issued += 1
+            entry.state = C.ST_EXEC
+
+    def _phase_fetch(self, rec: "_Recorder") -> None:
+        if self.stall > 0:
+            self.stall -= 1
+            return
+        if self.fetch_halted:
+            return
+        fetched = 0
+        while fetched < self.config.fetch_width and len(self.window) < self.config.window_size:
+            if self.func.halted:
+                self.fetch_halted = True
+                break
+            fetched += 1
+            if self.func._annul_next:
+                rec.annulled()
+                continue
+            pc = self.func.pc
+            d = self._decode_at(pc)
+            info = rec.exec_op(pc, d)
+            end_group = self._dispatch(rec, info, d)
+            if d.kind in ("halt", "illegal"):
+                self.fetch_halted = True
+                break
+            if end_group:
+                break
+
+    def _dispatch(self, rec: "_Recorder", info, d: S.Decoded) -> bool:
+        srcs = C.source_regs(d)
+        producers = sorted(
+            {self.last_writer[r] for r in srcs if self.last_writer[r] >= 0},
+            reverse=True,
+        )
+        dep1 = producers[0] if len(producers) > 0 else -1
+        dep2 = producers[1] if len(producers) > 1 else -1
+
+        latency = C.fixed_latency(d.cls, self.config)
+        end_group = False
+        if d.cls in (S.CLS_LOAD, S.CLS_STORE):
+            is_store = d.cls == S.CLS_STORE
+            latency = rec.cache_access(info, is_store)
+        elif d.kind == "branch":
+            taken, correct = rec.branch_resolve(info)
+            del taken
+            if not correct:
+                self.stall = self.config.mispredict_penalty
+                end_group = True
+        elif d.kind == "call":
+            rec.note_call(info.pc + 8)
+        elif d.name == "jmpl":
+            target, correct = rec.indirect_resolve(info, C.is_return(d))
+            del target
+            if not correct:
+                self.stall = self.config.mispredict_penalty
+                end_group = True
+        if info.is_branch and info.taken:
+            end_group = True
+
+        index = len(self.window)
+        self.window.append(_Entry(d.cls, C.ST_WAIT, latency, dep1, dep2, info.pc))
+        dest = C.dest_reg(d)
+        if dest is not None:
+            self.last_writer[dest] = index
+        if C.sets_cc(d):
+            self.last_writer[C.CC_REG] = index
+        return end_group
+
+
+class _ReplayedInfo:
+    """Stand-in for StepInfo during recovery: only the fields the
+    bookkeeping needs, reconstructed from recorded dynamic results."""
+
+    __slots__ = ("pc", "is_branch", "taken", "target", "mem_addr")
+
+    def __init__(self, pc: int):
+        self.pc = pc
+        self.is_branch = False
+        self.taken = False
+        self.target = 0
+        self.mem_addr = None
+
+
+class _Recorder:
+    """Mediates between the slow cycle and the memo tree.
+
+    In plain record mode it appends events from the tree root.  With a
+    ``recovery`` prefix (already replayed by the fast engine), it
+    verifies event kinds, suppresses re-execution, feeds recorded
+    dynamic results back to the bookkeeping, walks the existing tree in
+    step, and at the miss fork attaches a fresh branch and switches to
+    live recording — the paper's recovery protocol, by hand.
+    """
+
+    def __init__(self, sim: FastSimOoo, record: bool, root: _Node | None,
+                 recovery: list | None):
+        self.sim = sim
+        self.record = record
+        self.recovery = recovery or []
+        self.rix = 0
+        self.node = root
+        self.on_tree = bool(self.recovery)  # walking existing records?
+
+    # -- recovery helpers ----------------------------------------------------------
+
+    def _recovering(self) -> bool:
+        return self.rix < len(self.recovery)
+
+    def _pop(self, kind: int):
+        expected_kind, value = self.recovery[self.rix]
+        if expected_kind != kind:
+            raise RuntimeError(
+                f"fastsim recovery desync: expected kind {expected_kind}, got {kind}"
+            )
+        self.rix += 1
+        if self.on_tree and kind in CHECK_KINDS:
+            nxt = self.node.succ.get(value)
+            if nxt is None:
+                # The miss fork: attach a fresh branch and go live.
+                fresh = _Node()
+                self.node.succ[value] = fresh
+                self.node = fresh
+                self.on_tree = False
+                self.sim.mstats.bytes_estimate += 48
+            else:
+                self.node = nxt
+        return value
+
+    # -- event emissions --------------------------------------------------------------
+
+    def stat(self, cycles: int, retired: int) -> None:
+        if self._recovering():
+            self._pop(EV_STAT)
+            return
+        self.sim.stats.cycles += cycles
+        self.sim.stats.retired += retired
+        self._emit((EV_STAT, cycles, retired))
+
+    def annulled(self) -> None:
+        # Annul steps have no architectural effect beyond sequencing,
+        # which recovery re-derives (the key holds pre-cycle sequencing
+        # state), so stepping is safe in both modes.
+        if self._recovering():
+            self._pop(EV_ANNUL)
+            self.sim.func.step()
+            return
+        self.sim.func.step()
+        self._emit((EV_ANNUL,))
+
+    def exec_op(self, pc: int, d: S.Decoded):
+        if self._recovering():
+            self._pop(EV_EXEC)
+            info = _ReplayedInfo(pc)
+            self._resequence(info, d)
+            return info
+        info = self.sim.func.exec_decoded(d, pc)
+        self._emit((EV_EXEC, pc, d))
+        return info
+
+    def _resequence(self, info: _ReplayedInfo, d: S.Decoded) -> None:
+        """Advance functional sequencing during recovery without
+        re-executing effects: outcomes come from recorded results."""
+        func = self.sim.func
+        pc, npc = func.pc, func.npc
+        new_pc, new_npc = npc, npc + 4
+        if d.kind == "call":
+            info.is_branch = True
+            info.taken = True
+            info.target = (pc + d.disp) & 0xFFFFFFFF
+            new_npc = info.target
+        elif d.kind == "branch":
+            info.is_branch = True
+            taken, _correct = self._peek_value(EV_BPRED)
+            info.taken = taken
+            info.target = (pc + d.disp) & 0xFFFFFFFF
+            if taken:
+                new_npc = info.target
+                if d.annul and d.cond == 0b1000:
+                    func._annul_next = True
+            elif d.annul:
+                func._annul_next = True
+        elif d.name == "jmpl":
+            info.is_branch = True
+            info.taken = True
+            target, _correct = self._peek_value(EV_BIND)
+            info.target = target
+            new_npc = target
+        elif d.kind in ("halt", "illegal"):
+            func.halted = True
+        func.pc, func.npc = new_pc, new_npc
+
+    def _peek_value(self, kind: int):
+        """An instruction's own dynamic result immediately follows its
+        EXEC event in the recovery list."""
+        expected_kind, value = self.recovery[self.rix]
+        if expected_kind != kind:
+            raise RuntimeError("fastsim recovery desync on result lookahead")
+        return value
+
+    def cache_access(self, info, is_store: bool) -> int:
+        if self._recovering():
+            return self._pop(EV_CACHE)
+        if is_store:
+            self.sim.stats.stores += 1
+        else:
+            self.sim.stats.loads += 1
+        latency = self.sim.cache.access(info.mem_addr, self.sim.stats.cycles, is_store)
+        self._check((EV_CACHE, (is_store,)), latency)
+        return latency
+
+    def branch_resolve(self, info):
+        sim = self.sim
+        if self._recovering():
+            return self._pop(EV_BPRED)
+        correct = sim.predictor.resolve_branch(info.pc, info.taken)
+        sim.stats.branches += 1
+        if not correct:
+            sim.stats.mispredicts += 1
+        value = (info.taken, correct)
+        self._check((EV_BPRED, ()), value)
+        return value
+
+    def indirect_resolve(self, info, is_ret: bool):
+        sim = self.sim
+        if self._recovering():
+            return self._pop(EV_BIND)
+        correct = sim.predictor.resolve_indirect(info.pc, info.target, is_ret)
+        sim.stats.branches += 1
+        if not correct:
+            sim.stats.mispredicts += 1
+        value = (info.target, correct)
+        self._check((EV_BIND, (is_ret,)), value)
+        return value
+
+    def note_call(self, return_addr: int) -> None:
+        if self._recovering():
+            self._pop(EV_BCALL)
+            return
+        self.sim.predictor.note_call(return_addr)
+        self._emit((EV_BCALL, return_addr))
+
+    # -- tree building ----------------------------------------------------------------
+
+    def _emit(self, event: tuple) -> None:
+        if not self.record:
+            return
+        self.node.events.append(event)
+        self.sim.mstats.events_recorded += 1
+        self.sim.mstats.bytes_estimate += 16 + 8 * len(event)
+
+    def _check(self, check: tuple, value) -> None:
+        if not self.record:
+            return
+        self.node.check = check
+        fresh = _Node()
+        self.node.succ[value] = fresh
+        self.node = fresh
+        self.sim.mstats.events_recorded += 1
+        self.sim.mstats.bytes_estimate += 64
+
+    def finish(self, next_key: tuple) -> None:
+        if self.record:
+            self.node.next_key = next_key
+
+
+def run_fastsim(
+    program: Program,
+    config: C.MachineConfig | None = None,
+    memoize: bool = True,
+    max_cycles: int = 10_000_000,
+    memo_limit_bytes: int | None = None,
+) -> FastSimOoo:
+    sim = FastSimOoo(program, config, memoize=memoize, memo_limit_bytes=memo_limit_bytes)
+    sim.run(max_cycles)
+    return sim

@@ -1,0 +1,28 @@
+"""Micro-architecture substrates: caches and branch predictors.
+
+These are the external, *un-memoized* components, matching the paper's
+split: "the branch predictor and cache simulator are not memoized".
+"""
+
+from .branch import (
+    BimodalPredictor,
+    BranchTargetBuffer,
+    FrontEndPredictor,
+    GSharePredictor,
+    ReturnAddressStack,
+    TournamentPredictor,
+)
+from .cache import CacheArray, CacheConfig, CacheHierarchy, HierarchyConfig
+
+__all__ = [
+    "BimodalPredictor",
+    "BranchTargetBuffer",
+    "CacheArray",
+    "CacheConfig",
+    "CacheHierarchy",
+    "FrontEndPredictor",
+    "GSharePredictor",
+    "TournamentPredictor",
+    "HierarchyConfig",
+    "ReturnAddressStack",
+]

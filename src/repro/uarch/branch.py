@@ -1,0 +1,219 @@
+"""Branch prediction substrates.
+
+Like the cache simulator, the branch predictor is external to the
+memoized pipeline model (paper §6.2: "the branch predictor and cache
+simulator are not memoized").  Provided predictors:
+
+* :class:`BimodalPredictor` — PC-indexed 2-bit saturating counters;
+* :class:`GSharePredictor` — global-history XOR PC indexing;
+* :class:`BranchTargetBuffer` — direct-mapped target cache for
+  indirect jumps (``jmpl``);
+* :class:`ReturnAddressStack` — a small RAS for call/return pairs;
+* :class:`AlwaysTaken` / :class:`AlwaysNotTaken` — degenerate baselines
+  used by ablation benchmarks.
+
+All predictors are deterministic functions of their update history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PredictorStats:
+    predictions: int = 0
+    correct: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.predictions if self.predictions else 0.0
+
+    def record(self, was_correct: bool) -> None:
+        self.predictions += 1
+        if was_correct:
+            self.correct += 1
+
+
+class BimodalPredictor:
+    """Classic 2-bit saturating counter table, PC-indexed."""
+
+    def __init__(self, entries: int = 2048):
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.table = [2] * entries  # weakly taken
+        self.stats = PredictorStats()
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & (self.entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        return self.table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = self._index(pc)
+        counter = self.table[idx]
+        if taken:
+            self.table[idx] = min(3, counter + 1)
+        else:
+            self.table[idx] = max(0, counter - 1)
+
+
+class GSharePredictor:
+    """Global-history predictor: counters indexed by (history XOR pc)."""
+
+    def __init__(self, history_bits: int = 10):
+        self.history_bits = history_bits
+        self.entries = 1 << history_bits
+        self.table = [2] * self.entries
+        self.history = 0
+        self.stats = PredictorStats()
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self.history) & (self.entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        return self.table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = self._index(pc)
+        counter = self.table[idx]
+        self.table[idx] = min(3, counter + 1) if taken else max(0, counter - 1)
+        self.history = ((self.history << 1) | (1 if taken else 0)) & (self.entries - 1)
+
+
+class TournamentPredictor:
+    """Alpha-21264-style combining predictor: a chooser table of 2-bit
+    counters picks between a bimodal and a gshare component per branch,
+    trained toward whichever component was right."""
+
+    def __init__(self, entries: int = 2048, history_bits: int = 10):
+        self.bimodal = BimodalPredictor(entries)
+        self.gshare = GSharePredictor(history_bits)
+        self.chooser = [2] * entries  # >=2 prefers gshare
+        self.entries = entries
+        self.stats = PredictorStats()
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & (self.entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        if self.chooser[self._index(pc)] >= 2:
+            return self.gshare.predict(pc)
+        return self.bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = self._index(pc)
+        bimodal_right = self.bimodal.predict(pc) == taken
+        gshare_right = self.gshare.predict(pc) == taken
+        if gshare_right and not bimodal_right:
+            self.chooser[idx] = min(3, self.chooser[idx] + 1)
+        elif bimodal_right and not gshare_right:
+            self.chooser[idx] = max(0, self.chooser[idx] - 1)
+        self.bimodal.update(pc, taken)
+        self.gshare.update(pc, taken)
+
+
+class AlwaysTaken:
+    def __init__(self):
+        self.stats = PredictorStats()
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class AlwaysNotTaken:
+    def __init__(self):
+        self.stats = PredictorStats()
+
+    def predict(self, pc: int) -> bool:
+        return False
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class BranchTargetBuffer:
+    """Direct-mapped branch target cache (for indirect jumps)."""
+
+    def __init__(self, entries: int = 512):
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.tags = [-1] * entries
+        self.targets = [0] * entries
+        self.stats = PredictorStats()
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & (self.entries - 1)
+
+    def predict(self, pc: int) -> int | None:
+        idx = self._index(pc)
+        if self.tags[idx] == pc:
+            return self.targets[idx]
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        idx = self._index(pc)
+        self.tags[idx] = pc
+        self.targets[idx] = target
+
+
+class ReturnAddressStack:
+    """A bounded return-address stack; overflows wrap (oldest lost)."""
+
+    def __init__(self, depth: int = 16):
+        self.depth = depth
+        self.stack: list[int] = []
+
+    def push(self, addr: int) -> None:
+        self.stack.append(addr)
+        if len(self.stack) > self.depth:
+            self.stack.pop(0)
+
+    def pop(self) -> int | None:
+        return self.stack.pop() if self.stack else None
+
+
+class FrontEndPredictor:
+    """The combined front end used by the OOO simulators.
+
+    ``predict_branch``/``resolve_branch`` handle conditional branches;
+    ``predict_indirect``/``resolve_indirect`` handle ``jmpl`` targets
+    through the BTB (with a RAS fast path for returns).
+    """
+
+    def __init__(self, direction=None, btb: BranchTargetBuffer | None = None,
+                 ras: ReturnAddressStack | None = None):
+        self.direction = direction or BimodalPredictor()
+        self.btb = btb or BranchTargetBuffer()
+        self.ras = ras or ReturnAddressStack()
+        self.stats = PredictorStats()
+
+    def predict_branch(self, pc: int) -> bool:
+        return self.direction.predict(pc)
+
+    def resolve_branch(self, pc: int, taken: bool) -> bool:
+        """Update state; returns True when the prediction was correct."""
+        correct = self.direction.predict(pc) == taken
+        self.direction.update(pc, taken)
+        self.stats.record(correct)
+        return correct
+
+    def note_call(self, return_addr: int) -> None:
+        self.ras.push(return_addr)
+
+    def resolve_indirect(self, pc: int, target: int, is_return: bool) -> bool:
+        """Update BTB/RAS; returns True when the target was predicted."""
+        if is_return:
+            predicted = self.ras.pop()
+        else:
+            predicted = self.btb.predict(pc)
+        correct = predicted == target
+        self.btb.update(pc, target)
+        self.stats.record(correct)
+        return correct

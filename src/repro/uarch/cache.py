@@ -1,0 +1,204 @@
+"""Non-blocking cache hierarchy simulator.
+
+The paper's out-of-order simulators model "non-blocking data caches"
+whose simulator is called from the pipeline model but *not* memoized
+(§6.2) — in our reproduction it is an extern, exactly mirroring that
+split.  The model:
+
+* two-level hierarchy (L1D, unified L2) with LRU set-associative arrays
+  and write-allocate stores;
+* **MSHRs** (miss status holding registers) make the L1 non-blocking: a
+  miss to a line already in flight coalesces and waits only for the
+  remaining fill time; when all MSHRs are busy the access stalls until
+  the oldest entry retires;
+* deterministic: latency is a pure function of the access sequence, so
+  memoized replays that re-drive the cache see identical behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    name: str = "L1D"
+    size_bytes: int = 16 * 1024
+    line_bytes: int = 32
+    assoc: int = 4
+    hit_latency: int = 1
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    mshr_coalesced: int = 0
+    mshr_stalls: int = 0
+    prefetches: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class CacheArray:
+    """One level: LRU set-associative tag array (tags only, no data)."""
+
+    def __init__(self, config: CacheConfig):
+        if config.size_bytes % (config.line_bytes * config.assoc):
+            raise ValueError("cache size must be a multiple of line*assoc")
+        self.config = config
+        self.n_sets = config.size_bytes // (config.line_bytes * config.assoc)
+        self.offset_bits = config.line_bytes.bit_length() - 1
+        # Each set is a list of tags in LRU order (index 0 = most recent).
+        self.sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    def line_of(self, addr: int) -> int:
+        return addr >> self.offset_bits
+
+    def lookup(self, addr: int) -> bool:
+        """Probe and update LRU; returns hit."""
+        line = self.line_of(addr)
+        ways = self.sets[line % self.n_sets]
+        self.stats.accesses += 1
+        if line in ways:
+            ways.remove(line)
+            ways.insert(0, line)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def fill(self, addr: int) -> int | None:
+        """Install a line; returns the evicted line (or None)."""
+        line = self.line_of(addr)
+        ways = self.sets[line % self.n_sets]
+        if line in ways:
+            return None
+        ways.insert(0, line)
+        if len(ways) > self.config.assoc:
+            self.stats.evictions += 1
+            return ways.pop()
+        return None
+
+    def invalidate_all(self) -> None:
+        for ways in self.sets:
+            ways.clear()
+
+
+@dataclass
+class HierarchyConfig:
+    l1: CacheConfig = field(default_factory=lambda: CacheConfig("L1D", 16 * 1024, 32, 4, 1))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig("L2", 256 * 1024, 64, 8, 8))
+    memory_latency: int = 40
+    mshr_entries: int = 8
+    store_latency: int = 1
+    # Next-line prefetch on L1 misses: the sequential line is fetched
+    # into L1 in the background (an MSHR entry, no extra latency charged
+    # to the triggering access).
+    prefetch_next_line: bool = False
+
+
+class CacheHierarchy:
+    """L1 + L2 + memory with MSHR-based non-blocking misses.
+
+    ``access(addr, cycle, is_store)`` returns the load-use latency in
+    cycles as seen by the pipeline.
+    """
+
+    LOAD = 0
+    STORE = 1
+
+    def __init__(self, config: HierarchyConfig | None = None):
+        self.config = config or HierarchyConfig()
+        self.l1 = CacheArray(self.config.l1)
+        self.l2 = CacheArray(self.config.l2)
+        # line -> cycle at which the fill completes
+        self.mshrs: dict[int, int] = {}
+
+    def access(self, addr: int, cycle: int, is_store: bool = False) -> int:
+        """Simulate one data access; returns its latency in cycles."""
+        addr &= 0xFFFFFFFF
+        line = self.l1.line_of(addr)
+        self._retire_mshrs(cycle)
+        if self.l1.lookup(addr):
+            # The line may still be in flight (installed by an earlier
+            # miss whose fill has not completed): coalesce on its MSHR.
+            pending = self.mshrs.get(line)
+            if pending is not None and pending > cycle:
+                self.l1.stats.mshr_coalesced += 1
+                latency = (pending - cycle) + self.config.l1.hit_latency
+            else:
+                latency = self.config.l1.hit_latency
+            return self.config.store_latency if is_store else latency
+
+        # L1 miss.  Coalesce with an outstanding fill when possible.
+        pending = self.mshrs.get(line)
+        if pending is not None and pending > cycle:
+            self.l1.stats.mshr_coalesced += 1
+            fill_wait = pending - cycle
+            self._fill_l1(addr)
+            latency = fill_wait + self.config.l1.hit_latency
+            return self.config.store_latency if is_store else latency
+
+        # Allocate an MSHR; stall if all are busy.
+        stall = 0
+        if len(self.mshrs) >= self.config.mshr_entries:
+            oldest_ready = min(self.mshrs.values())
+            stall = max(0, oldest_ready - cycle)
+            self.l1.stats.mshr_stalls += 1
+            self._retire_mshrs(oldest_ready)
+
+        if self.l2.lookup(addr):
+            fill_latency = self.config.l2.hit_latency
+        else:
+            fill_latency = self.config.l2.hit_latency + self.config.memory_latency
+            self.l2.fill(addr)
+        self._fill_l1(addr)
+        self.mshrs[line] = cycle + stall + fill_latency
+        latency = stall + fill_latency + self.config.l1.hit_latency
+        if self.config.prefetch_next_line:
+            self._prefetch(addr + self.config.l1.line_bytes, cycle + stall, fill_latency)
+        return self.config.store_latency if is_store else latency
+
+    def _prefetch(self, addr: int, cycle: int, base_latency: int) -> None:
+        """Pull the sequential line into L1 if it is absent and an MSHR
+        slot is free; never stalls the demand stream and never perturbs
+        the demand hit/miss statistics."""
+        line = self.l1.line_of(addr)
+        ways = self.l1.sets[line % self.l1.n_sets]
+        if line in ways or line in self.mshrs:
+            return
+        if len(self.mshrs) >= self.config.mshr_entries:
+            return
+        self.l1.stats.prefetches += 1
+        l2_line = self.l2.line_of(addr)
+        if l2_line not in self.l2.sets[l2_line % self.l2.n_sets]:
+            self.l2.fill(addr)
+        self._fill_l1(addr)
+        self.mshrs[line] = cycle + base_latency
+
+    def _fill_l1(self, addr: int) -> None:
+        evicted = self.l1.fill(addr)
+        if evicted is not None:
+            # Inclusive hierarchy: evicted L1 lines remain in L2.
+            pass
+
+    def _retire_mshrs(self, cycle: int) -> None:
+        done = [line for line, ready in self.mshrs.items() if ready <= cycle]
+        for line in done:
+            del self.mshrs[line]
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def stats(self) -> dict[str, CacheStats]:
+        return {"l1": self.l1.stats, "l2": self.l2.stats}
+
+    def reset_stats(self) -> None:
+        self.l1.stats = CacheStats()
+        self.l2.stats = CacheStats()

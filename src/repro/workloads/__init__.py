@@ -1,0 +1,15 @@
+"""Workload substrate: the minic compiler and the SPEC95-analogue suite."""
+
+from .minic import MinicCompiler, MinicError, compile_minic, read_out_buffer
+from .suite import WORKLOADS, Workload, build_cached, expected_out
+
+__all__ = [
+    "MinicCompiler",
+    "MinicError",
+    "WORKLOADS",
+    "Workload",
+    "build_cached",
+    "compile_minic",
+    "expected_out",
+    "read_out_buffer",
+]

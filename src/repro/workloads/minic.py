@@ -1,0 +1,809 @@
+"""minic: a small C-like language compiled to SPARC-lite assembly.
+
+The paper evaluates on SPEC95 binaries compiled for SPARC.  Offline we
+have no SPARC toolchain, so the workload suite is written in *minic* and
+compiled by this module — the programs are therefore real compiled code
+with function calls, stack frames, spills, and memory traffic, which is
+what gives the cache and branch-predictor substrates realistic work.
+
+Language summary::
+
+    int g;                 // global scalar (optional "= N" initializer)
+    int table[256];        // global array
+    int f(int a, int b) {  // functions; int-only types
+        int x = a * 2;     // block-scoped locals
+        if (x > b) { return x; } else { return b; }
+        while (x < 10) { x = x + 1; }
+        for (i = 0; i < 8; i = i + 1) { ... }
+        table[x] = f(x, 1); // calls, array indexing
+        out(x);             // append to the output buffer (observable)
+    }
+    int main() { ... }     // entry point
+
+Operators (C precedence): ``|| && | ^ & == != < <= > >= << >> + - * / %
+! -`` and array indexing.  ``break``/``continue`` work in both loop
+forms (``continue`` in a ``for`` runs the step expression).  ``&&``/``||`` short-circuit.  ``*`` and ``/`` are
+unsigned 32-bit (``umul``/``udiv``) — workloads stick to non-negative
+values.  Comparisons are signed.
+
+Code generation is a straightforward stack machine: expression results
+travel through ``%o0`` with operands spilled to the stack, locals live
+in ``%fp``-relative slots, arguments pass in ``%o0``–``%o5``.  This is
+deliberately naive compilation — like unoptimized C, it produces the
+load/store-heavy instruction mix the timing substrates care about.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..isa.assembler import assemble
+from ..isa.program import Program
+
+OUT_BUFFER = 0x0020_0000  # out() appends words here; [0] is the count
+MAX_ARGS = 6
+
+
+class MinicError(Exception):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<num>0x[0-9a-fA-F]+|\d+)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<punct><=|>=|==|!=|&&|\|\||<<|>>|[-+*/%<>=!;,(){}\[\]&|^])
+    """,
+    re.VERBOSE,
+)
+
+
+def _lex(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise MinicError(f"bad character {text[pos]!r} at offset {pos}")
+        pos = m.end()
+        if m.lastgroup == "ws":
+            continue
+        tokens.append((m.lastgroup, m.group()))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Num:
+    value: int
+
+
+@dataclass
+class Var:
+    name: str
+
+
+@dataclass
+class ArrayRef:
+    name: str
+    index: object
+
+
+@dataclass
+class Unop:
+    op: str
+    operand: object
+
+
+@dataclass
+class Binop:
+    op: str
+    left: object
+    right: object
+
+
+@dataclass
+class CallExpr:
+    name: str
+    args: list
+
+
+@dataclass
+class DeclStmt:
+    name: str
+    init: object | None
+
+
+@dataclass
+class AssignStmt:
+    target: object  # Var or ArrayRef
+    value: object
+
+
+@dataclass
+class IfStmt:
+    cond: object
+    then_body: list
+    else_body: list | None
+
+
+@dataclass
+class WhileStmt:
+    cond: object
+    body: list
+
+
+@dataclass
+class ForStmt:
+    init: object | None
+    cond: object | None
+    step: object | None
+    body: list
+
+
+@dataclass
+class BreakStmt:
+    pass
+
+
+@dataclass
+class ContinueStmt:
+    pass
+
+
+@dataclass
+class ReturnStmt:
+    value: object | None
+
+
+@dataclass
+class ExprStmt:
+    expr: object
+
+
+@dataclass
+class FuncDef:
+    name: str
+    params: list[str]
+    body: list
+
+
+@dataclass
+class GlobalDef:
+    name: str
+    size: int | None  # None = scalar
+    init: int = 0
+    init_values: list[int] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _lex(text)
+        self.pos = 0
+
+    def peek(self) -> tuple[str, str]:
+        return self.tokens[self.pos]
+
+    def next(self) -> tuple[str, str]:
+        tok = self.tokens[self.pos]
+        if tok[0] != "eof":
+            self.pos += 1
+        return tok
+
+    def accept(self, text: str) -> bool:
+        if self.peek()[1] == text and self.peek()[0] in ("punct", "ident"):
+            self.next()
+            return True
+        return False
+
+    def expect(self, text: str) -> None:
+        if not self.accept(text):
+            raise MinicError(f"expected {text!r}, found {self.peek()[1]!r}")
+
+    def ident(self) -> str:
+        kind, text = self.next()
+        if kind != "ident":
+            raise MinicError(f"expected identifier, found {text!r}")
+        return text
+
+    def number(self) -> int:
+        kind, text = self.next()
+        neg = False
+        if text == "-":
+            neg = True
+            kind, text = self.next()
+        if kind != "num":
+            raise MinicError(f"expected number, found {text!r}")
+        value = int(text, 0)
+        return -value if neg else value
+
+    # -- program ---------------------------------------------------------
+
+    def parse(self) -> tuple[list[GlobalDef], list[FuncDef]]:
+        globals_: list[GlobalDef] = []
+        funcs: list[FuncDef] = []
+        while self.peek()[0] != "eof":
+            self.expect("int")
+            name = self.ident()
+            if self.peek()[1] == "(":
+                funcs.append(self._func(name))
+            else:
+                globals_.append(self._global(name))
+        return globals_, funcs
+
+    def _global(self, name: str) -> GlobalDef:
+        size = None
+        init = 0
+        init_values: list[int] = []
+        if self.accept("["):
+            size = self.number()
+            self.expect("]")
+        if self.accept("="):
+            if self.accept("{"):
+                init_values.append(self.number())
+                while self.accept(","):
+                    init_values.append(self.number())
+                self.expect("}")
+            else:
+                init = self.number()
+        self.expect(";")
+        return GlobalDef(name, size, init, init_values)
+
+    def _func(self, name: str) -> FuncDef:
+        self.expect("(")
+        params: list[str] = []
+        if not self.accept(")"):
+            while True:
+                self.expect("int")
+                params.append(self.ident())
+                if not self.accept(","):
+                    break
+            self.expect(")")
+        if len(params) > MAX_ARGS:
+            raise MinicError(f"{name}: too many parameters (max {MAX_ARGS})")
+        body = self._block()
+        return FuncDef(name, params, body)
+
+    def _block(self) -> list:
+        self.expect("{")
+        stmts = []
+        while not self.accept("}"):
+            stmts.append(self._stmt())
+        return stmts
+
+    def _stmt(self):
+        kind, text = self.peek()
+        if text == "{":
+            return IfStmt(Num(1), self._block(), None)  # bare block
+        if text == "int":
+            self.next()
+            name = self.ident()
+            init = None
+            if self.accept("="):
+                init = self._expr()
+            self.expect(";")
+            return DeclStmt(name, init)
+        if text == "if":
+            self.next()
+            self.expect("(")
+            cond = self._expr()
+            self.expect(")")
+            then_body = self._block()
+            else_body = None
+            if self.accept("else"):
+                if self.peek()[1] == "if":
+                    else_body = [self._stmt()]
+                else:
+                    else_body = self._block()
+            return IfStmt(cond, then_body, else_body)
+        if text == "while":
+            self.next()
+            self.expect("(")
+            cond = self._expr()
+            self.expect(")")
+            return WhileStmt(cond, self._block())
+        if text == "for":
+            self.next()
+            self.expect("(")
+            init = None if self.peek()[1] == ";" else self._simple()
+            self.expect(";")
+            cond = None if self.peek()[1] == ";" else self._expr()
+            self.expect(";")
+            step = None if self.peek()[1] == ")" else self._simple()
+            self.expect(")")
+            return ForStmt(init, cond, step, self._block())
+        if text == "break":
+            self.next()
+            self.expect(";")
+            return BreakStmt()
+        if text == "continue":
+            self.next()
+            self.expect(";")
+            return ContinueStmt()
+        if text == "return":
+            self.next()
+            value = None if self.peek()[1] == ";" else self._expr()
+            self.expect(";")
+            return ReturnStmt(value)
+        stmt = self._simple()
+        self.expect(";")
+        return stmt
+
+    def _simple(self):
+        """Assignment or expression statement (no trailing semicolon)."""
+        start = self.pos
+        if self.peek()[0] == "ident":
+            name = self.ident()
+            if self.accept("="):
+                return AssignStmt(Var(name), self._expr())
+            if self.accept("["):
+                index = self._expr()
+                self.expect("]")
+                if self.accept("="):
+                    return AssignStmt(ArrayRef(name, index), self._expr())
+            self.pos = start
+        return ExprStmt(self._expr())
+
+    # -- expressions -------------------------------------------------------
+
+    _LEVELS = [
+        ["||"],
+        ["&&"],
+        ["|"],
+        ["^"],
+        ["&"],
+        ["==", "!="],
+        ["<", "<=", ">", ">="],
+        ["<<", ">>"],
+        ["+", "-"],
+        ["*", "/", "%"],
+    ]
+
+    def _expr(self, level: int = 0):
+        if level >= len(self._LEVELS):
+            return self._unary()
+        left = self._expr(level + 1)
+        while self.peek()[1] in self._LEVELS[level] and self.peek()[0] == "punct":
+            op = self.next()[1]
+            right = self._expr(level + 1)
+            left = Binop(op, left, right)
+        return left
+
+    def _unary(self):
+        if self.peek()[1] == "-" and self.peek()[0] == "punct":
+            self.next()
+            return Unop("-", self._unary())
+        if self.peek()[1] == "!" and self.peek()[0] == "punct":
+            self.next()
+            return Unop("!", self._unary())
+        return self._postfix()
+
+    def _postfix(self):
+        kind, text = self.peek()
+        if kind == "num":
+            self.next()
+            return Num(int(text, 0))
+        if text == "(":
+            self.next()
+            inner = self._expr()
+            self.expect(")")
+            return inner
+        if kind == "ident":
+            name = self.ident()
+            if self.accept("("):
+                args = []
+                if not self.accept(")"):
+                    args.append(self._expr())
+                    while self.accept(","):
+                        args.append(self._expr())
+                    self.expect(")")
+                return CallExpr(name, args)
+            if self.accept("["):
+                index = self._expr()
+                self.expect("]")
+                return ArrayRef(name, index)
+            return Var(name)
+        raise MinicError(f"expected expression, found {text!r}")
+
+
+# ---------------------------------------------------------------------------
+# Code generation (stack machine)
+# ---------------------------------------------------------------------------
+
+
+class _FuncCompiler:
+    def __init__(self, cc: "MinicCompiler", func: FuncDef):
+        self.cc = cc
+        self.func = func
+        self.locals: dict[str, int] = {}  # name -> slot index
+        self.lines: list[str] = []
+        # (continue_label, break_label) per enclosing loop
+        self.loop_stack: list[tuple[str, str]] = []
+        self._collect_locals(func.body)
+        for p in func.params:
+            if p not in self.locals:
+                self.locals[p] = len(self.locals)
+
+    def _collect_locals(self, stmts: list) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, DeclStmt):
+                if stmt.name not in self.locals:
+                    self.locals[stmt.name] = len(self.locals)
+            elif isinstance(stmt, IfStmt):
+                self._collect_locals(stmt.then_body)
+                if stmt.else_body:
+                    self._collect_locals(stmt.else_body)
+            elif isinstance(stmt, (WhileStmt, ForStmt)):
+                self._collect_locals(stmt.body)
+
+    # -- emission helpers ---------------------------------------------------
+
+    def emit(self, line: str) -> None:
+        self.lines.append("        " + line)
+
+    def label(self, name: str) -> None:
+        self.lines.append(f"{name}:")
+
+    def _slot_offset(self, name: str) -> int:
+        return 4 * (self.locals[name] + 1)
+
+    def push(self) -> None:
+        self.emit("sub %sp, 4, %sp")
+        self.emit("st %o0, [%sp]")
+
+    def pop_to_o1(self) -> None:
+        self.emit("ld [%sp], %o1")
+        self.emit("add %sp, 4, %sp")
+
+    # -- function frame -------------------------------------------------------
+
+    def compile(self) -> list[str]:
+        f = self.func
+        self.label(f"mc_{f.name}")
+        frame = 4 * len(self.locals)
+        self.emit("sub %sp, 8, %sp")
+        self.emit("st %o7, [%sp + 4]")
+        self.emit("st %fp, [%sp]")
+        self.emit("mov %sp, %fp")
+        if frame:
+            self.emit(f"sub %sp, {frame}, %sp")
+        # Spill incoming arguments to their local slots.
+        for k, p in enumerate(f.params):
+            self.emit(f"st %o{k}, [%fp - {self._slot_offset(p)}]")
+        self._stmts(f.body)
+        self.label(f"mc_{f.name}__ret")
+        self.emit("mov %fp, %sp")
+        self.emit("ld [%sp], %fp")
+        self.emit("ld [%sp + 4], %o7")
+        self.emit("add %sp, 8, %sp")
+        self.emit("ret")
+        self.emit("nop")
+        return self.lines
+
+    # -- statements -------------------------------------------------------------
+
+    def _stmts(self, stmts: list) -> None:
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt) -> None:
+        if isinstance(stmt, DeclStmt):
+            if stmt.init is not None:
+                self._expr(stmt.init)
+                self.emit(f"st %o0, [%fp - {self._slot_offset(stmt.name)}]")
+        elif isinstance(stmt, AssignStmt):
+            self._assign(stmt)
+        elif isinstance(stmt, IfStmt):
+            else_label = self.cc.fresh_label("else")
+            end_label = self.cc.fresh_label("endif")
+            self._branch_if_false(stmt.cond, else_label if stmt.else_body else end_label)
+            self._stmts(stmt.then_body)
+            if stmt.else_body:
+                self.emit(f"b {end_label}")
+                self.emit("nop")
+                self.label(else_label)
+                self._stmts(stmt.else_body)
+            self.label(end_label)
+        elif isinstance(stmt, WhileStmt):
+            top = self.cc.fresh_label("wtop")
+            end = self.cc.fresh_label("wend")
+            self.label(top)
+            self._branch_if_false(stmt.cond, end)
+            self.loop_stack.append((top, end))
+            self._stmts(stmt.body)
+            self.loop_stack.pop()
+            self.emit(f"b {top}")
+            self.emit("nop")
+            self.label(end)
+        elif isinstance(stmt, ForStmt):
+            if stmt.init is not None:
+                self._stmt(stmt.init)
+            top = self.cc.fresh_label("ftop")
+            step_l = self.cc.fresh_label("fstep")
+            end = self.cc.fresh_label("fend")
+            self.label(top)
+            if stmt.cond is not None:
+                self._branch_if_false(stmt.cond, end)
+            self.loop_stack.append((step_l, end))  # continue runs the step
+            self._stmts(stmt.body)
+            self.loop_stack.pop()
+            self.label(step_l)
+            if stmt.step is not None:
+                self._stmt(stmt.step)
+            self.emit(f"b {top}")
+            self.emit("nop")
+            self.label(end)
+        elif isinstance(stmt, BreakStmt):
+            if not self.loop_stack:
+                raise MinicError("break outside of a loop")
+            self.emit(f"b {self.loop_stack[-1][1]}")
+            self.emit("nop")
+        elif isinstance(stmt, ContinueStmt):
+            if not self.loop_stack:
+                raise MinicError("continue outside of a loop")
+            self.emit(f"b {self.loop_stack[-1][0]}")
+            self.emit("nop")
+        elif isinstance(stmt, ReturnStmt):
+            if stmt.value is not None:
+                self._expr(stmt.value)
+            else:
+                self.emit("clr %o0")
+            self.emit(f"b mc_{self.func.name}__ret")
+            self.emit("nop")
+        elif isinstance(stmt, ExprStmt):
+            self._expr(stmt.expr)
+        else:
+            raise MinicError(f"unhandled statement {type(stmt).__name__}")
+
+    def _assign(self, stmt: AssignStmt) -> None:
+        target = stmt.target
+        if isinstance(target, Var):
+            self._expr(stmt.value)
+            if target.name in self.locals:
+                self.emit(f"st %o0, [%fp - {self._slot_offset(target.name)}]")
+            elif target.name in self.cc.globals:
+                self.emit(f"set {self.cc.global_label(target.name)}, %l7")
+                self.emit("st %o0, [%l7]")
+            else:
+                raise MinicError(f"assignment to undefined variable {target.name!r}")
+        elif isinstance(target, ArrayRef):
+            if target.name not in self.cc.globals:
+                raise MinicError(f"unknown array {target.name!r}")
+            self._expr(target.index)
+            self.push()
+            self._expr(stmt.value)
+            self.pop_to_o1()  # %o1 = index, %o0 = value
+            self.emit("sll %o1, 2, %o1")
+            self.emit(f"set {self.cc.global_label(target.name)}, %l7")
+            self.emit("add %l7, %o1, %l7")
+            self.emit("st %o0, [%l7]")
+        else:
+            raise MinicError("bad assignment target")
+
+    def _branch_if_false(self, cond, target: str) -> None:
+        self._expr(cond)
+        self.emit("tst %o0")
+        self.emit(f"be {target}")
+        self.emit("nop")
+
+    # -- expressions ----------------------------------------------------------------
+
+    _CMP_BRANCH = {"==": "be", "!=": "bne", "<": "bl", "<=": "ble", ">": "bg", ">=": "bge"}
+
+    def _expr(self, expr) -> None:
+        """Evaluate `expr` into %o0."""
+        if isinstance(expr, Num):
+            self.emit(f"set {expr.value}, %o0")
+        elif isinstance(expr, Var):
+            if expr.name in self.locals:
+                self.emit(f"ld [%fp - {self._slot_offset(expr.name)}], %o0")
+            elif expr.name in self.cc.globals:
+                self.emit(f"set {self.cc.global_label(expr.name)}, %l7")
+                self.emit("ld [%l7], %o0")
+            else:
+                raise MinicError(f"undefined variable {expr.name!r}")
+        elif isinstance(expr, ArrayRef):
+            if expr.name not in self.cc.globals:
+                raise MinicError(f"unknown array {expr.name!r}")
+            self._expr(expr.index)
+            self.emit("sll %o0, 2, %o0")
+            self.emit(f"set {self.cc.global_label(expr.name)}, %l7")
+            self.emit("add %l7, %o0, %l7")
+            self.emit("ld [%l7], %o0")
+        elif isinstance(expr, Unop):
+            self._expr(expr.operand)
+            if expr.op == "-":
+                self.emit("sub %g0, %o0, %o0")
+            else:  # !
+                true_l = self.cc.fresh_label("nott")
+                end_l = self.cc.fresh_label("note")
+                self.emit("tst %o0")
+                self.emit(f"be {true_l}")
+                self.emit("nop")
+                self.emit("clr %o0")
+                self.emit(f"b {end_l}")
+                self.emit("nop")
+                self.label(true_l)
+                self.emit("set 1, %o0")
+                self.label(end_l)
+        elif isinstance(expr, Binop):
+            self._binop(expr)
+        elif isinstance(expr, CallExpr):
+            self._call(expr)
+        else:
+            raise MinicError(f"unhandled expression {type(expr).__name__}")
+
+    def _binop(self, expr: Binop) -> None:
+        op = expr.op
+        if op in ("&&", "||"):
+            # Short-circuit: a && b == (a ? (b != 0) : 0)
+            end_l = self.cc.fresh_label("sc")
+            self._expr(expr.left)
+            self.emit("tst %o0")
+            if op == "&&":
+                self.emit(f"be {end_l}")  # left false -> result 0 already? no:
+            else:
+                self.emit(f"bne {end_l}")
+            self.emit("nop")
+            self._expr(expr.right)
+            self.label(end_l)
+            # Normalize to 0/1.
+            norm_t = self.cc.fresh_label("scn")
+            norm_e = self.cc.fresh_label("sce")
+            self.emit("tst %o0")
+            self.emit(f"bne {norm_t}")
+            self.emit("nop")
+            self.emit("clr %o0")
+            self.emit(f"b {norm_e}")
+            self.emit("nop")
+            self.label(norm_t)
+            self.emit("set 1, %o0")
+            self.label(norm_e)
+            return
+        self._expr(expr.left)
+        self.push()
+        self._expr(expr.right)
+        self.pop_to_o1()  # %o1 = left, %o0 = right
+        if op in self._CMP_BRANCH:
+            true_l = self.cc.fresh_label("cmpt")
+            end_l = self.cc.fresh_label("cmpe")
+            self.emit("cmp %o1, %o0")
+            self.emit(f"{self._CMP_BRANCH[op]} {true_l}")
+            self.emit("nop")
+            self.emit("clr %o0")
+            self.emit(f"b {end_l}")
+            self.emit("nop")
+            self.label(true_l)
+            self.emit("set 1, %o0")
+            self.label(end_l)
+            return
+        table = {
+            "+": "add",
+            "-": "sub",
+            "*": "umul",
+            "/": "udiv",
+            "&": "and",
+            "|": "or",
+            "^": "xor",
+            "<<": "sll",
+            ">>": "srl",
+        }
+        if op in table:
+            self.emit(f"{table[op]} %o1, %o0, %o0")
+            return
+        if op == "%":
+            # o1 % o0 = o1 - (o1/o0)*o0
+            self.emit("udiv %o1, %o0, %l7")
+            self.emit("umul %l7, %o0, %l7")
+            self.emit("sub %o1, %l7, %o0")
+            return
+        raise MinicError(f"unhandled operator {op!r}")
+
+    def _call(self, expr: CallExpr) -> None:
+        if expr.name == "out":
+            self._builtin_out(expr)
+            return
+        if expr.name == "halt":
+            self.emit("halt")
+            return
+        if expr.name not in self.cc.functions:
+            raise MinicError(f"call to undefined function {expr.name!r}")
+        if len(expr.args) != len(self.cc.functions[expr.name].params):
+            raise MinicError(f"wrong arity in call to {expr.name!r}")
+        for arg in expr.args:
+            self._expr(arg)
+            self.push()
+        for k in reversed(range(len(expr.args))):
+            self.emit(f"ld [%sp], %o{k}")
+            self.emit("add %sp, 4, %sp")
+        self.emit(f"call mc_{expr.name}")
+        self.emit("nop")
+
+    def _builtin_out(self, expr: CallExpr) -> None:
+        if len(expr.args) != 1:
+            raise MinicError("out() takes one argument")
+        self._expr(expr.args[0])
+        # [OUT_BUFFER] holds the count; values land after it.
+        self.emit(f"set {OUT_BUFFER}, %l7")
+        self.emit("ld [%l7], %o1")
+        self.emit("add %o1, 1, %o1")
+        self.emit("st %o1, [%l7]")
+        self.emit("sll %o1, 2, %o1")
+        self.emit("add %l7, %o1, %l7")
+        self.emit("st %o0, [%l7]")
+
+
+class MinicCompiler:
+    """Compiles a minic program into SPARC-lite assembly + a Program."""
+
+    def __init__(self, source: str):
+        self.globals_defs, self.funcs = _Parser(source).parse()
+        self.globals = {g.name: g for g in self.globals_defs}
+        self.functions = {f.name: f for f in self.funcs}
+        self._label_counter = 0
+        if "main" not in self.functions:
+            raise MinicError("minic program needs a main()")
+
+    def fresh_label(self, base: str) -> str:
+        self._label_counter += 1
+        return f"L{base}{self._label_counter}"
+
+    def global_label(self, name: str) -> str:
+        return f"g_{name}"
+
+    def assembly(self) -> str:
+        lines = [
+            "        .text",
+            "start:",
+            "        call mc_main",
+            "        nop",
+            "        halt",
+        ]
+        for func in self.funcs:
+            lines.extend(_FuncCompiler(self, func).compile())
+        lines.append("        .data")
+        for g in self.globals_defs:
+            lines.append(f"{self.global_label(g.name)}:")
+            if g.size is None:
+                lines.append(f"        .word {g.init}")
+            elif g.init_values:
+                if len(g.init_values) > g.size:
+                    raise MinicError(f"too many initializers for {g.name!r}")
+                words = ", ".join(str(v) for v in g.init_values)
+                lines.append(f"        .word {words}")
+                remaining = g.size - len(g.init_values)
+                if remaining:
+                    lines.append(f"        .space {4 * remaining}")
+            else:
+                lines.append(f"        .space {4 * g.size}")
+        return "\n".join(lines) + "\n"
+
+    def compile(self) -> Program:
+        return assemble(self.assembly())
+
+
+def compile_minic(source: str) -> Program:
+    """Compile minic source text to a loadable SPARC-lite Program."""
+    return MinicCompiler(source).compile()
+
+
+def read_out_buffer(mem) -> list[int]:
+    """Read back the values written by minic's out() builtin."""
+    count = mem.read32(OUT_BUFFER)
+    return [mem.read32(OUT_BUFFER + 4 * (i + 1)) for i in range(count)]

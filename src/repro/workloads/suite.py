@@ -1,0 +1,873 @@
+"""The SPEC95-analogue workload suite.
+
+The paper measures SPEC95 (integer: go, m88ksim, gcc, compress, li,
+ijpeg, perl, vortex; floating point: tomcatv, swim, su2cor, hydro2d,
+mgrid, applu, turb3d, apsi, fpppp, wave5) with "test" inputs.  No SPEC
+binaries exist offline, so each workload here is a minic program chosen
+to exercise the *same behavioural axis* that made its namesake
+interesting in the paper's tables:
+
+============  ==========================================================
+``go``        irregular, data-dependent branching over a board — worst
+              case action-cache growth (Table 2: 889 MB in the paper)
+``m88ksim``   register-machine instruction interpreter
+``gcc``       many distinct code paths (large switch-heavy rewriter) —
+              the paper's worst fast-forward rate (99.689%) and the one
+              benchmark hurt by the 256 MB cache limit in Figure 12
+``compress``  RLE-style compress/decompress byte loops
+``li``        stack-based expression-VM interpreter loop
+``ijpeg``     blocked 8x8 integer transform over an image
+``perl``      string hashing + bucket histogram
+``vortex``    linked-record database lookups
+``tomcatv``   2D 5-point stencil relaxation (FP analogue, integerized)
+``swim``      2D shallow-water-style sweep over three grids
+``mgrid``     3-point multilevel smoothing — extremely regular, best
+              fast-forward rate (paper: 99.999%)
+``fpppp``     huge straight-line dependence chains (largest basic
+              blocks in SPEC; best Figure 12 speedup, 23.8x)
+``su2cor``    lattice nearest-neighbour coupling (complex-ish ints)
+``hydro2d``   coupled-grid flux updates
+``applu``     forward/backward triangular sweeps (SSOR)
+``turb3d``    butterfly (FFT-style) strided passes
+``apsi``      column physics with data-dependent adjustments
+``wave5``     particle-in-cell gather/scatter
+============  ==========================================================
+
+Every workload is deterministic and self-checking: it writes a checksum
+via ``out()``, and ``expected_out`` lets tests verify any simulator
+produced the right answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+from ..isa.program import Program
+from .minic import compile_minic
+
+# Deterministic PRNG used *at generation time* (host side, for data) —
+# an LCG so the suite never depends on Python's hash randomization.
+_LCG_A = 1103515245
+_LCG_C = 12345
+_LCG_M = 1 << 31
+
+
+def _lcg_stream(seed: int):
+    x = seed
+    while True:
+        x = (_LCG_A * x + _LCG_C) % _LCG_M
+        yield x
+
+
+@dataclass(frozen=True)
+class Workload:
+    name: str
+    category: str  # "int" or "fp" (analogue)
+    description: str
+    source_builder: Callable[[int], str]
+    default_scale: int
+    test_scale: int
+
+    def source(self, scale: int | None = None) -> str:
+        return self.source_builder(scale if scale is not None else self.default_scale)
+
+    def build(self, scale: int | None = None) -> Program:
+        return compile_minic(self.source(scale))
+
+
+def _go(scale: int) -> str:
+    rng = _lcg_stream(42)
+    board = [next(rng) % 3 for _ in range(361)]
+    init = ", ".join(str(v) for v in board)
+    return f"""
+int board[361] = {{{init}}};
+int score;
+int rnd;
+
+int next_rnd() {{
+    rnd = (rnd * 1103515245 + 12345) & 2147483647;
+    return rnd;
+}}
+
+int influence(int p) {{
+    int s = 0;
+    if (p >= 19) {{ if (board[p - 19] == 1) {{ s = s + 3; }} }}
+    if (p < 342) {{ if (board[p + 19] == 1) {{ s = s + 3; }} }}
+    if (p % 19 != 0) {{ if (board[p - 1] == 2) {{ s = s - 2; }} }}
+    if (p % 19 != 18) {{ if (board[p + 1] == 2) {{ s = s - 2; }} }}
+    return s;
+}}
+
+int main() {{
+    int pass;
+    rnd = 7;
+    score = 0;
+    for (pass = 0; pass < {scale}; pass = pass + 1) {{
+        int p;
+        for (p = 0; p < 361; p = p + 1) {{
+            int v = board[p];
+            if (v == 0) {{
+                int inf = influence(p);
+                if (inf > 2) {{
+                    board[p] = 1;
+                    score = score + inf;
+                }} else {{
+                    if (inf < -1) {{
+                        board[p] = 2;
+                        score = score - 1;
+                    }} else {{
+                        if ((next_rnd() >> 7) % 13 == 0) {{
+                            board[p] = 1 + (next_rnd() % 2);
+                        }}
+                    }}
+                }}
+            }} else {{
+                if (v == 1) {{
+                    if (influence(p) < -3) {{ board[p] = 0; score = score - 2; }}
+                }} else {{
+                    if (influence(p) > 4) {{ board[p] = 0; score = score + 1; }}
+                }}
+            }}
+        }}
+    }}
+    out(score & 65535);
+    return 0;
+}}
+"""
+
+
+def _m88ksim(scale: int) -> str:
+    # A little register-machine program: opcodes packed as
+    # op*4096 + dst*256 + src*16 + imm.
+    # ops: 0=addi 1=add 2=sub 3=beq-back 4=halt-loop-exit 5=load 6=store
+    code = [
+        (0, 1, 0, 10),  # r1 = r0 + 10      (loop counter)
+        (0, 2, 0, 0),  # r2 = 0            (accumulator)
+        (0, 3, 0, 1),  # r3 = 1
+        (1, 2, 3, 0),  # r2 += r3          <- loop head (pc 3)
+        (6, 2, 4, 0),  # mem[r4] = r2
+        (5, 5, 4, 0),  # r5 = mem[r4]
+        (1, 2, 5, 0),  # r2 += r5 (doubles the accumulator)
+        (2, 1, 3, 0),  # r1 -= r3
+        (3, 1, 0, 3),  # if r1 != 0 goto 3
+        (4, 0, 0, 0),  # exit
+    ]
+    words = ", ".join(str(op * 4096 + d * 256 + s * 16 + imm) for op, d, s, imm in code)
+    return f"""
+int code[{len(code)}] = {{{words}}};
+int regs[16];
+int dmem[16];
+int total;
+
+int run_once() {{
+    int pc = 0;
+    int steps = 0;
+    int r;
+    for (r = 0; r < 16; r = r + 1) {{ regs[r] = 0; }}
+    while (steps < 4000) {{
+        int insn = code[pc];
+        int op = insn >> 12;
+        int dst = (insn >> 8) & 15;
+        int src = (insn >> 4) & 15;
+        int imm = insn & 15;
+        pc = pc + 1;
+        steps = steps + 1;
+        if (op == 0) {{ regs[dst] = regs[src] + imm; }}
+        else {{ if (op == 1) {{ regs[dst] = regs[dst] + regs[src]; }}
+        else {{ if (op == 2) {{ regs[dst] = regs[dst] - regs[src]; }}
+        else {{ if (op == 3) {{ if (regs[dst] != 0) {{ pc = imm; }} }}
+        else {{ if (op == 5) {{ regs[dst] = dmem[regs[src] & 15]; }}
+        else {{ if (op == 6) {{ dmem[regs[src] & 15] = regs[dst]; }}
+        else {{ return regs[2]; }} }} }} }} }} }}
+    }}
+    return regs[2];
+}}
+
+int main() {{
+    int i;
+    total = 0;
+    for (i = 0; i < {scale}; i = i + 1) {{
+        total = total + run_once();
+    }}
+    out(total & 65535);
+    return 0;
+}}
+"""
+
+
+def _gcc(scale: int) -> str:
+    # Many distinct "rewrite rules" over a token stream: a wide dispatch
+    # with one arm per rule, so many distinct code paths get recorded.
+    rng = _lcg_stream(99)
+    tokens = [next(rng) % 24 for _ in range(512)]
+    init = ", ".join(str(t) for t in tokens)
+    arms = []
+    for k in range(24):
+        arms.append(
+            f"if (t == {k}) {{ acc = acc + ((x << {k % 7}) ^ {k * 2654435761 % 4096}); "
+            f"x = (x + {k * 13 + 1}) & 1023; }}"
+        )
+    dispatch = "\n            ".join(arms)
+    return f"""
+int stream[512] = {{{init}}};
+int acc;
+
+int main() {{
+    int pass;
+    int x = 1;
+    acc = 0;
+    for (pass = 0; pass < {scale}; pass = pass + 1) {{
+        int i;
+        for (i = 0; i < 512; i = i + 1) {{
+            int t = (stream[i] + pass) % 24;
+            {dispatch}
+        }}
+    }}
+    out(acc & 65535);
+    return 0;
+}}
+"""
+
+
+def _compress(scale: int) -> str:
+    rng = _lcg_stream(5)
+    data = []
+    value = next(rng) % 7
+    for _ in range(256):
+        if next(rng) % 4 == 0:
+            value = next(rng) % 7
+        data.append(value)
+    init = ", ".join(str(v) for v in data)
+    return f"""
+int input[256] = {{{init}}};
+int packed[512];
+int unpacked[256];
+
+int compress_pass() {{
+    int n = 0;
+    int i = 0;
+    while (i < 256) {{
+        int v = input[i];
+        int run = 1;
+        while ((i + run < 256) && (input[i + run] == v)) {{
+            run = run + 1;
+        }}
+        packed[n] = v;
+        packed[n + 1] = run;
+        n = n + 2;
+        i = i + run;
+    }}
+    return n;
+}}
+
+int expand(int n) {{
+    int j = 0;
+    int k;
+    for (k = 0; k < n; k = k + 2) {{
+        int v = packed[k];
+        int run = packed[k + 1];
+        int r;
+        for (r = 0; r < run; r = r + 1) {{
+            unpacked[j] = v;
+            j = j + 1;
+        }}
+    }}
+    return j;
+}}
+
+int main() {{
+    int pass;
+    int check = 0;
+    for (pass = 0; pass < {scale}; pass = pass + 1) {{
+        int n = compress_pass();
+        int m = expand(n);
+        check = check + n + m;
+        input[pass % 256] = (input[pass % 256] + 1) % 7;
+    }}
+    out(check & 65535);
+    return 0;
+}}
+"""
+
+
+def _li(scale: int) -> str:
+    # A stack VM evaluating a fixed expression program repeatedly.
+    # ops: 0 push-imm, 1 add, 2 mul, 3 sub, 4 dup, 5 swap, 6 done
+    prog = [
+        (0, 3), (0, 4), (1, 0), (4, 0), (2, 0),  # (3+4)^2 = 49
+        (0, 7), (3, 0), (0, 6), (2, 0),  # (49-7)*6 = 252
+        (0, 5), (5, 0), (3, 0),  # 5 - 252 ... swapped: 252-5=247
+        (6, 0),
+    ]
+    words = ", ".join(str(op * 256 + arg) for op, arg in prog)
+    return f"""
+int vmcode[{len(prog)}] = {{{words}}};
+int stack[64];
+
+int eval_vm() {{
+    int sp = 0;
+    int pc = 0;
+    while (1) {{
+        int insn = vmcode[pc];
+        int op = insn >> 8;
+        int arg = insn & 255;
+        pc = pc + 1;
+        if (op == 0) {{ stack[sp] = arg; sp = sp + 1; }}
+        else {{ if (op == 1) {{ sp = sp - 1; stack[sp - 1] = stack[sp - 1] + stack[sp]; }}
+        else {{ if (op == 2) {{ sp = sp - 1; stack[sp - 1] = stack[sp - 1] * stack[sp]; }}
+        else {{ if (op == 3) {{ sp = sp - 1; stack[sp - 1] = stack[sp - 1] - stack[sp]; }}
+        else {{ if (op == 4) {{ stack[sp] = stack[sp - 1]; sp = sp + 1; }}
+        else {{ if (op == 5) {{ int t = stack[sp - 1]; stack[sp - 1] = stack[sp - 2]; stack[sp - 2] = t; }}
+        else {{ return stack[sp - 1]; }} }} }} }} }} }}
+    }}
+    return 0;
+}}
+
+int main() {{
+    int i;
+    int acc = 0;
+    for (i = 0; i < {scale}; i = i + 1) {{
+        acc = acc + eval_vm();
+    }}
+    out(acc & 65535);
+    return 0;
+}}
+"""
+
+
+def _ijpeg(scale: int) -> str:
+    rng = _lcg_stream(31)
+    image = [next(rng) % 256 for _ in range(16 * 16)]
+    init = ", ".join(str(v) for v in image)
+    return f"""
+int image[256] = {{{init}}};
+int coeff[256];
+
+int transform_block(int bx, int by) {{
+    int u;
+    int s = 0;
+    for (u = 0; u < 8; u = u + 1) {{
+        int v;
+        for (v = 0; v < 8; v = v + 1) {{
+            int x;
+            int sum = 0;
+            for (x = 0; x < 8; x = x + 1) {{
+                int px = image[(by * 8 + u) * 16 + bx * 8 + x];
+                sum = sum + px * ((x * v) % 7 + 1);
+            }}
+            coeff[(by * 8 + u) * 16 + bx * 8 + v] = sum >> 3;
+            s = s + (sum & 255);
+        }}
+    }}
+    return s;
+}}
+
+int main() {{
+    int pass;
+    int check = 0;
+    for (pass = 0; pass < {scale}; pass = pass + 1) {{
+        int bx;
+        for (bx = 0; bx < 2; bx = bx + 1) {{
+            int by;
+            for (by = 0; by < 2; by = by + 1) {{
+                check = check + transform_block(bx, by);
+            }}
+        }}
+        image[pass % 256] = (image[pass % 256] + 1) & 255;
+    }}
+    out(check & 65535);
+    return 0;
+}}
+"""
+
+
+def _perl(scale: int) -> str:
+    rng = _lcg_stream(17)
+    text = [next(rng) % 26 + 97 for _ in range(384)]
+    init = ", ".join(str(c) for c in text)
+    return f"""
+int text[384] = {{{init}}};
+int buckets[64];
+
+int hash_span(int start, int len) {{
+    int h = 5381;
+    int i;
+    for (i = 0; i < len; i = i + 1) {{
+        h = ((h << 5) + h) ^ text[start + i];
+        h = h & 16777215;
+    }}
+    return h;
+}}
+
+int main() {{
+    int pass;
+    int check = 0;
+    for (pass = 0; pass < {scale}; pass = pass + 1) {{
+        int s;
+        for (s = 0; s + 8 <= 384; s = s + 8) {{
+            int h = hash_span(s, 8);
+            int b = h & 63;
+            buckets[b] = buckets[b] + 1;
+            check = check + (h & 255);
+        }}
+        text[pass % 384] = ((text[pass % 384] + 1 - 97) % 26) + 97;
+    }}
+    out(check & 65535);
+    out(buckets[5] & 255);
+    return 0;
+}}
+"""
+
+
+def _vortex(scale: int) -> str:
+    # Linked records in a flat array: [key, value, next_index] triples.
+    rng = _lcg_stream(61)
+    n = 64
+    order = list(range(n))
+    # Shuffle deterministically to make traversal pointer-chase-y.
+    for i in range(n - 1, 0, -1):
+        j = next(rng) % (i + 1)
+        order[i], order[j] = order[j], order[i]
+    records = [0] * (3 * n)
+    for pos, key in enumerate(order):
+        records[3 * pos] = key * 7 + 3
+        records[3 * pos + 1] = key * key % 1000
+        records[3 * pos + 2] = 3 * (pos + 1) if pos + 1 < n else -1
+    init = ", ".join(str(v) for v in records)
+    return f"""
+int db[{3 * n}] = {{{init}}};
+int hits;
+
+int lookup(int key) {{
+    int p = 0;
+    while (p >= 0) {{
+        if (db[p] == key) {{ return db[p + 1]; }}
+        p = db[p + 2];
+    }}
+    return 0 - 1;
+}}
+
+int main() {{
+    int pass;
+    int check = 0;
+    hits = 0;
+    for (pass = 0; pass < {scale}; pass = pass + 1) {{
+        int q;
+        for (q = 0; q < {n}; q = q + 4) {{
+            int v = lookup(q * 7 + 3);
+            if (v >= 0) {{ hits = hits + 1; }}
+            check = check + v;
+        }}
+    }}
+    out(check & 65535);
+    out(hits & 65535);
+    return 0;
+}}
+"""
+
+
+def _tomcatv(scale: int) -> str:
+    return f"""
+int grid[400];
+int work[400];
+
+int main() {{
+    int i;
+    int pass;
+    int check = 0;
+    for (i = 0; i < 400; i = i + 1) {{
+        grid[i] = (i * 37) & 1023;
+    }}
+    for (pass = 0; pass < {scale}; pass = pass + 1) {{
+        int r;
+        for (r = 1; r < 19; r = r + 1) {{
+            int c;
+            for (c = 1; c < 19; c = c + 1) {{
+                int idx = r * 20 + c;
+                work[idx] = (grid[idx - 1] + grid[idx + 1]
+                           + grid[idx - 20] + grid[idx + 20]
+                           + grid[idx] * 4) >> 3;
+            }}
+        }}
+        for (r = 1; r < 19; r = r + 1) {{
+            int c;
+            for (c = 1; c < 19; c = c + 1) {{
+                int idx = r * 20 + c;
+                grid[idx] = work[idx];
+            }}
+        }}
+        check = check + grid[pass % 400];
+    }}
+    out(check & 65535);
+    return 0;
+}}
+"""
+
+
+def _swim(scale: int) -> str:
+    return f"""
+int u[256];
+int v[256];
+int p[256];
+
+int main() {{
+    int i;
+    int pass;
+    int check = 0;
+    for (i = 0; i < 256; i = i + 1) {{
+        u[i] = (i * 13) & 255;
+        v[i] = (i * 29) & 255;
+        p[i] = (i * 7) & 255;
+    }}
+    for (pass = 0; pass < {scale}; pass = pass + 1) {{
+        int r;
+        for (r = 1; r < 15; r = r + 1) {{
+            int c;
+            for (c = 1; c < 15; c = c + 1) {{
+                int idx = r * 16 + c;
+                int du = u[idx + 1] - u[idx - 1];
+                int dv = v[idx + 16] - v[idx - 16];
+                p[idx] = (p[idx] + ((du + dv) >> 2)) & 262143;
+                u[idx] = (u[idx] + (p[idx + 1] - p[idx - 1])) & 262143;
+                v[idx] = (v[idx] + (p[idx + 16] - p[idx - 16])) & 262143;
+            }}
+        }}
+        check = (check + p[17] + u[18] + v[19]) & 16777215;
+    }}
+    out(check & 65535);
+    return 0;
+}}
+"""
+
+
+def _mgrid(scale: int) -> str:
+    return f"""
+int fine[512];
+int coarse[256];
+
+int smooth(int n, int passes) {{
+    int pss;
+    int total = 0;
+    for (pss = 0; pss < passes; pss = pss + 1) {{
+        int i;
+        for (i = 1; i + 1 < n; i = i + 1) {{
+            fine[i] = (fine[i - 1] + fine[i] * 2 + fine[i + 1]) >> 2;
+        }}
+        total = total + fine[n >> 1];
+    }}
+    return total;
+}}
+
+int main() {{
+    int i;
+    int pass;
+    int check = 0;
+    for (i = 0; i < 512; i = i + 1) {{ fine[i] = (i * 97) & 4095; }}
+    for (pass = 0; pass < {scale}; pass = pass + 1) {{
+        check = check + smooth(512, 2);
+        for (i = 0; i < 256; i = i + 1) {{
+            coarse[i] = (fine[2 * i] + fine[2 * i + 1]) >> 1;
+        }}
+        for (i = 0; i < 256; i = i + 1) {{
+            fine[2 * i] = coarse[i];
+            fine[2 * i + 1] = coarse[i];
+        }}
+    }}
+    out(check & 65535);
+    return 0;
+}}
+"""
+
+
+def _su2cor(scale: int) -> str:
+    # Quantum-physics lattice: complex-ish arithmetic (pairs of ints)
+    # over a 1D lattice with nearest-neighbour coupling.
+    return f"""
+int re[128];
+int im[128];
+
+int main() {{
+    int i;
+    int pass;
+    int check = 0;
+    for (i = 0; i < 128; i = i + 1) {{
+        re[i] = (i * 17) & 255;
+        im[i] = (i * 23) & 255;
+    }}
+    for (pass = 0; pass < {scale}; pass = pass + 1) {{
+        for (i = 1; i < 127; i = i + 1) {{
+            int ar = re[i];
+            int ai = im[i];
+            int br = re[i - 1] + re[i + 1];
+            int bi = im[i - 1] + im[i + 1];
+            // (a * b) for "complex" ints, scaled down.
+            re[i] = (ar * br - ai * bi) >> 8;
+            im[i] = (ar * bi + ai * br) >> 8;
+            re[i] = re[i] & 65535;
+            im[i] = im[i] & 65535;
+        }}
+        check = (check + re[64] + im[32]) & 16777215;
+    }}
+    out(check & 65535);
+    return 0;
+}}
+"""
+
+
+def _hydro2d(scale: int) -> str:
+    # Hydrodynamical Navier-Stokes-style update: two coupled grids with
+    # flux terms.
+    return f"""
+int rho[324];
+int mom[324];
+
+int main() {{
+    int i;
+    int pass;
+    int check = 0;
+    for (i = 0; i < 324; i = i + 1) {{
+        rho[i] = 100 + ((i * 31) & 63);
+        mom[i] = (i * 11) & 127;
+    }}
+    for (pass = 0; pass < {scale}; pass = pass + 1) {{
+        int r;
+        for (r = 1; r < 17; r = r + 1) {{
+            int c;
+            for (c = 1; c < 17; c = c + 1) {{
+                int idx = r * 18 + c;
+                int flux = (mom[idx + 1] - mom[idx - 1]
+                          + mom[idx + 18] - mom[idx - 18]) >> 2;
+                rho[idx] = (rho[idx] - flux) & 1048575;
+                mom[idx] = (mom[idx] + ((rho[idx + 1] - rho[idx - 1]) >> 1)) & 1048575;
+            }}
+        }}
+        check = (check + rho[35] + mom[290]) & 16777215;
+    }}
+    out(check & 65535);
+    return 0;
+}}
+"""
+
+
+def _applu(scale: int) -> str:
+    # SSOR-style lower/upper triangular sweeps over a grid (applu's
+    # signature access pattern: forward then backward substitution).
+    return f"""
+int grid[256];
+
+int main() {{
+    int i;
+    int pass;
+    int check = 0;
+    for (i = 0; i < 256; i = i + 1) {{ grid[i] = (i * 41) & 511; }}
+    for (pass = 0; pass < {scale}; pass = pass + 1) {{
+        // Forward sweep.
+        for (i = 17; i < 239; i = i + 1) {{
+            grid[i] = (grid[i] + ((grid[i - 1] + grid[i - 16]) >> 1)) & 1048575;
+        }}
+        // Backward sweep.
+        for (i = 238; i > 16; i = i - 1) {{
+            grid[i] = (grid[i] + ((grid[i + 1] + grid[i + 16]) >> 1)) & 1048575;
+        }}
+        check = (check + grid[128]) & 16777215;
+    }}
+    out(check & 65535);
+    return 0;
+}}
+"""
+
+
+def _turb3d(scale: int) -> str:
+    # Turbulence FFT-flavoured butterfly passes over a power-of-two
+    # array: strided accesses with log-levels, turb3d's inner shape.
+    return f"""
+int data[256];
+
+int main() {{
+    int i;
+    int pass;
+    int check = 0;
+    for (i = 0; i < 256; i = i + 1) {{ data[i] = (i * 73) & 1023; }}
+    for (pass = 0; pass < {scale}; pass = pass + 1) {{
+        int span = 1;
+        while (span < 256) {{
+            int base = 0;
+            while (base < 256) {{
+                int k;
+                for (k = 0; k < span; k = k + 1) {{
+                    int a = data[base + k];
+                    int b = data[base + k + span];
+                    data[base + k] = (a + b) & 1048575;
+                    data[base + k + span] = (a - b) & 1048575;
+                }}
+                base = base + span * 2;
+            }}
+            span = span * 2;
+        }}
+        check = (check + data[pass % 256]) & 16777215;
+    }}
+    out(check & 65535);
+    return 0;
+}}
+"""
+
+
+def _apsi(scale: int) -> str:
+    # Mesoscale weather: vertical column physics — per-column loops with
+    # conditionals on layer state (apsi mixes regular loops with data
+    # dependent branches).
+    return f"""
+int temp[200];
+int moist[200];
+
+int main() {{
+    int i;
+    int pass;
+    int check = 0;
+    for (i = 0; i < 200; i = i + 1) {{
+        temp[i] = 250 + ((i * 7) % 60);
+        moist[i] = (i * 13) % 100;
+    }}
+    for (pass = 0; pass < {scale}; pass = pass + 1) {{
+        int col;
+        for (col = 0; col < 10; col = col + 1) {{
+            int lev;
+            for (lev = 1; lev < 20; lev = lev + 1) {{
+                int idx = col * 20 + lev;
+                int below = temp[idx - 1];
+                if (temp[idx] > below + 2) {{
+                    // Convective adjustment.
+                    int avg = (temp[idx] + below) >> 1;
+                    temp[idx] = avg;
+                    temp[idx - 1] = avg;
+                    moist[idx] = (moist[idx] + moist[idx - 1]) >> 1;
+                }} else {{
+                    temp[idx] = (temp[idx] * 15 + below) >> 4;
+                }}
+                if (moist[idx] > 90) {{
+                    moist[idx] = moist[idx] - 30;  // rain out
+                    check = check + 1;
+                }}
+                moist[idx] = (moist[idx] + 3) % 101;
+            }}
+        }}
+        check = (check + temp[55] + moist[155]) & 16777215;
+    }}
+    out(check & 65535);
+    return 0;
+}}
+"""
+
+
+def _wave5(scale: int) -> str:
+    # Particle-in-cell plasma: particles pushed through a field grid
+    # (gather-scatter with computed indices, wave5's signature).
+    rng = _lcg_stream(77)
+    positions = [next(rng) % 1280 for _ in range(96)]
+    init = ", ".join(str(p) for p in positions)
+    return f"""
+int pos[96] = {{{init}}};
+int vel[96];
+int field[128];
+
+int main() {{
+    int i;
+    int pass;
+    int check = 0;
+    for (i = 0; i < 128; i = i + 1) {{ field[i] = ((i * 19) & 63) - 32; }}
+    for (i = 0; i < 96; i = i + 1) {{ vel[i] = (i & 7) - 3; }}
+    for (pass = 0; pass < {scale}; pass = pass + 1) {{
+        // Push particles (gather field at particle cell).
+        for (i = 0; i < 96; i = i + 1) {{
+            int cell = (pos[i] >> 4) & 127;
+            vel[i] = vel[i] + field[cell];
+            if (vel[i] > 15) {{ vel[i] = 15; }}
+            if (vel[i] < 0 - 15) {{ vel[i] = 0 - 15; }}
+            pos[i] = (pos[i] + vel[i] + 2048) % 2048;
+        }}
+        // Deposit charge (scatter back onto the grid).
+        for (i = 0; i < 128; i = i + 1) {{ field[i] = field[i] >> 1; }}
+        for (i = 0; i < 96; i = i + 1) {{
+            int cell = (pos[i] >> 4) & 127;
+            field[cell] = field[cell] + 1;
+        }}
+        check = (check + pos[5] + vel[50] + field[64]) & 16777215;
+    }}
+    out(check & 65535);
+    return 0;
+}}
+"""
+
+
+def _fpppp(scale: int) -> str:
+    # Long straight-line dependence chains, the SPEC benchmark famous
+    # for enormous basic blocks.  Generate a big unrolled polynomial
+    # pipeline with no inner control flow.
+    steps = []
+    for k in range(48):
+        steps.append(f"        a = (a * 3 + b + {k}) & 1048575;")
+        steps.append(f"        b = (b * 5 + c - {k % 7}) & 1048575;")
+        steps.append(f"        c = (c * 7 + a + {k % 11}) & 1048575;")
+    body = "\n".join(steps)
+    return f"""
+int main() {{
+    int pass;
+    int a = 1;
+    int b = 2;
+    int c = 3;
+    for (pass = 0; pass < {scale}; pass = pass + 1) {{
+{body}
+    }}
+    out((a + b + c) & 65535);
+    return 0;
+}}
+"""
+
+
+WORKLOADS: dict[str, Workload] = {
+    w.name: w
+    for w in [
+        Workload("go", "int", "irregular board-scan branching", _go, 2, 1),
+        Workload("m88ksim", "int", "register-machine interpreter", _m88ksim, 16, 1),
+        Workload("gcc", "int", "wide multi-rule dispatch", _gcc, 1, 1),
+        Workload("compress", "int", "RLE compress/expand loops", _compress, 6, 2),
+        Workload("li", "int", "stack-VM interpreter", _li, 150, 4),
+        Workload("ijpeg", "int", "blocked 8x8 integer transform", _ijpeg, 1, 1),
+        Workload("perl", "int", "string hashing + histogram", _perl, 6, 1),
+        Workload("vortex", "int", "linked-record database lookups", _vortex, 7, 1),
+        Workload("tomcatv", "fp", "2D 5-point stencil relaxation", _tomcatv, 3, 1),
+        Workload("swim", "fp", "shallow-water-style grid sweep", _swim, 4, 1),
+        Workload("su2cor", "fp", "lattice nearest-neighbour coupling", _su2cor, 12, 1),
+        Workload("hydro2d", "fp", "coupled-grid flux updates", _hydro2d, 5, 1),
+        Workload("mgrid", "fp", "multilevel 3-point smoothing", _mgrid, 2, 1),
+        Workload("applu", "fp", "forward/backward triangular sweeps", _applu, 7, 1),
+        Workload("turb3d", "fp", "butterfly (FFT-style) passes", _turb3d, 2, 1),
+        Workload("apsi", "fp", "column physics with adjustments", _apsi, 8, 1),
+        Workload("fpppp", "fp", "huge straight-line blocks", _fpppp, 40, 2),
+        Workload("wave5", "fp", "particle-in-cell gather/scatter", _wave5, 10, 1),
+    ]
+}
+
+INTEGER_WORKLOADS = [w for w in WORKLOADS.values() if w.category == "int"]
+FP_WORKLOADS = [w for w in WORKLOADS.values() if w.category == "fp"]
+
+
+@lru_cache(maxsize=64)
+def build_cached(name: str, scale: int | None = None) -> Program:
+    """Build (and cache) a workload Program."""
+    return WORKLOADS[name].build(scale)
+
+
+@lru_cache(maxsize=64)
+def expected_out(name: str, scale: int | None = None) -> tuple[int, ...]:
+    """Golden out() values computed with the functional simulator."""
+    from ..isa.funcsim import FunctionalSim
+    from .minic import read_out_buffer
+
+    sim = FunctionalSim.for_program(build_cached(name, scale))
+    sim.run(200_000_000)
+    if not sim.halted:
+        raise RuntimeError(f"workload {name} did not halt")
+    return tuple(read_out_buffer(sim.mem))

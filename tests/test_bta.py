@@ -1,0 +1,226 @@
+"""Unit tests for binding-time analysis (paper §4.1)."""
+
+from repro.facile.bta import (
+    DYNAMIC,
+    RT_STATIC,
+    SHAPE_ARRAY,
+    SHAPE_QUEUE,
+    analyze_binding_times,
+    insert_dynamic_result_tests,
+)
+from repro.facile.inline import flatten_program
+from repro.facile.parser import parse
+from repro.facile.sema import analyze
+
+HEADER = (
+    "token instruction[32] fields op 24:31, rl 19:23, imm 0:12;"
+    "pat add = op==0; pat bz = op==1;"
+    "val init = 0;"
+)
+
+
+def division_for(src, header=HEADER):
+    info = analyze(parse(header + src))
+    flat = flatten_program(info)
+    return flat, analyze_binding_times(flat)
+
+
+def bt_of(division, base_name):
+    """Binding time of the (unique) flattened local derived from base_name."""
+    matches = [
+        name
+        for name in division.bt
+        if name == base_name or name.startswith(base_name + "__")
+    ]
+    assert matches, f"no variable named {base_name}"
+    return max(division.bt[m] for m in matches)
+
+
+class TestInitialDivision:
+    def test_params_are_rt_static(self):
+        flat, d = division_for("fun main(pc) { init = pc; }")
+        assert all(d.bt[p] == RT_STATIC for p in flat.params)
+
+    def test_literal_derived_locals_are_rt_static(self):
+        _, d = division_for("fun main(pc) { val x = pc + 4; init = x; }")
+        assert bt_of(d, "x") == RT_STATIC
+
+    def test_unwritten_global_is_program_constant(self):
+        _, d = division_for(
+            "val table = array(4){7}; fun main(pc) { init = table[1]; }",
+        )
+        assert d.var_bt("table") == RT_STATIC
+
+    def test_read_before_write_global_is_dynamic(self):
+        _, d = division_for(
+            "val g = 0; fun main(pc) { val x = g; g = pc; init = x; }"
+        )
+        assert d.var_bt("g") == DYNAMIC
+
+    def test_write_before_read_global_is_local_like(self):
+        _, d = division_for(
+            "val PC = 0; fun main(pc) { PC = pc; init = PC + 4; }"
+        )
+        assert "PC" in d.local_like_globals
+        assert d.var_bt("PC") == RT_STATIC
+
+    def test_conditionally_written_global_not_local_like(self):
+        _, d = division_for(
+            "val g = 0; fun main(pc) { if (pc) { g = pc; } init = g; }"
+        )
+        assert "g" not in d.local_like_globals
+        assert d.var_bt("g") == DYNAMIC
+
+
+class TestPropagation:
+    def test_extern_result_is_dynamic(self):
+        _, d = division_for(
+            "extern cache(1); fun main(pc) { val lat = cache(pc); init = pc; }"
+        )
+        assert bt_of(d, "lat") == DYNAMIC
+
+    def test_mem_read_is_dynamic(self):
+        _, d = division_for("fun main(pc) { val v = mem_read(pc); init = pc; }")
+        assert bt_of(d, "v") == DYNAMIC
+
+    def test_dynamic_taints_through_arithmetic(self):
+        _, d = division_for(
+            "fun main(pc) { val v = mem_read(pc); val w = v + 1; init = pc; }"
+        )
+        assert bt_of(d, "w") == DYNAMIC
+
+    def test_verify_pins_dynamic_value(self):
+        _, d = division_for(
+            "extern cache(1);"
+            "fun main(pc) { val lat = cache(pc)?verify; init = pc + lat; }"
+        )
+        # The lifted call temp is dynamic, but the verified value is
+        # rt-static and may flow into the key computation.
+        assert bt_of(d, "lat") == RT_STATIC
+
+    def test_array_poisoned_by_dynamic_store(self):
+        _, d = division_for(
+            "val R = array(8){0};"
+            "fun main(pc) { R[0] = mem_read(pc); init = pc; }"
+        )
+        assert d.var_bt("R") == DYNAMIC
+
+    def test_array_poisoned_by_dynamic_index(self):
+        _, d = division_for(
+            "val A = array(8){0};"
+            "fun main(pc) { val v = mem_read(pc); A[v] = 1; init = pc; }"
+        )
+        assert d.var_bt("A") == DYNAMIC
+
+    def test_rt_static_array_stays_static(self):
+        _, d = division_for(
+            "fun main(pc) { val a = array(4){0}; a[1] = pc; init = a[1]; }"
+        )
+        assert bt_of(d, "a") == RT_STATIC
+
+    def test_queue_poisoned_by_dynamic_push(self):
+        _, d = division_for(
+            "fun main(pc) { val q = queue(); q?push_back(mem_read(pc)); init = pc; }"
+        )
+        assert bt_of(d, "q") == DYNAMIC
+
+    def test_rt_static_queue_ops_stay_static(self):
+        _, d = division_for(
+            "fun main(pc) { val q = queue(); q?push_back(pc);"
+            " val x = q?pop_front(); init = x; }"
+        )
+        assert bt_of(d, "q") == RT_STATIC
+        assert bt_of(d, "x") == RT_STATIC
+
+    def test_variable_level_join_one_dynamic_assignment_poisons(self):
+        # Paper merge rule: rt-static from one predecessor + dynamic from
+        # another => dynamic after the merge.
+        _, d = division_for(
+            "fun main(pc) { val x = 1; if (pc) { x = mem_read(pc); } init = pc; }"
+        )
+        assert bt_of(d, "x") == DYNAMIC
+
+    def test_figure7_division(self):
+        # The paper's Figure 7: register ops dynamic, pc/npc rt-static.
+        src = (
+            "val R = array(32){0};"
+            "fun main(pc) {"
+            "  val npc = pc + 4;"
+            "  switch (pc) {"
+            "    pat add: R[rl] = R[rl] + imm?sext(13);"
+            "    pat bz:  if (R[rl] == 0) npc = pc + imm?sext(13);"
+            "  }"
+            "  init = npc;"
+            "}"
+        )
+        _, d = division_for(src)
+        assert d.var_bt("R") == DYNAMIC
+        assert bt_of(d, "npc") == RT_STATIC
+
+
+class TestShapes:
+    def test_array_shape(self):
+        _, d = division_for("val R = array(4){0}; fun main(pc) { R[0] = pc; init = pc; }")
+        assert d.var_shape("R") == SHAPE_ARRAY
+
+    def test_queue_shape(self):
+        _, d = division_for(
+            "fun main(pc) { val q = queue(); q?push_back(pc); init = pc; }"
+        )
+        names = [n for n in d.shape if n.startswith("q__")]
+        assert any(d.shape[n] == SHAPE_QUEUE for n in names)
+
+    def test_param_indexed_gets_array_shape(self):
+        flat, d = division_for("fun main(iq) { init = iq[0]; }")
+        assert d.var_shape(flat.params[0]) == SHAPE_ARRAY
+
+
+class TestDynamicResultInsertion:
+    def test_dynamic_if_gets_verify(self):
+        flat, d = division_for(
+            "val R = array(4){0};"
+            "fun main(pc) { R[1] = mem_read(pc); val npc = pc + 4;"
+            " if (R[0] == 0) npc = pc + 8; init = npc; }"
+        )
+        n = insert_dynamic_result_tests(flat, d)
+        assert n == 1
+
+    def test_unwritten_array_condition_needs_no_verify(self):
+        # R is never written in the step function, so it is a program
+        # constant and branching on it is rt-static.
+        flat, d = division_for(
+            "val R = array(4){0};"
+            "fun main(pc) { val npc = pc + 4;"
+            " if (R[0] == 0) npc = pc + 8; init = npc; }"
+        )
+        assert insert_dynamic_result_tests(flat, d) == 0
+
+    def test_static_if_untouched(self):
+        flat, d = division_for(
+            "fun main(pc) { val npc = pc + 4; if (pc == 0) npc = 8; init = npc; }"
+        )
+        assert insert_dynamic_result_tests(flat, d) == 0
+
+    def test_dynamic_while_rewritten(self):
+        flat, d = division_for(
+            "val R = array(4){0};"
+            "fun main(pc) { while (R[0] != 0) { R[0] = R[0] - 1; } init = pc; }"
+        )
+        n = insert_dynamic_result_tests(flat, d)
+        assert n == 1
+
+    def test_dynamic_switch_scrutinee_pinned(self):
+        flat, d = division_for(
+            "val R = array(4){0};"
+            "fun main(pc) { val x = 0; R[1] = mem_read(pc);"
+            " switch (R[0]) { case 0: x = 1; default: x = 2; } init = pc + x; }"
+        )
+        n = insert_dynamic_result_tests(flat, d)
+        assert n == 1
+
+    def test_flush_globals_lists_rt_static_assigned(self):
+        _, d = division_for(
+            "val PC = 0; val nPC = 0;"
+            "fun main(pc) { PC = pc; nPC = PC + 4; init = nPC; }"
+        )
+        assert set(d.flush_globals) == {"PC", "nPC", "init"}

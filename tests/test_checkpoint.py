@@ -1,0 +1,72 @@
+"""Tests for simulation-state checkpointing (snapshot/restore)."""
+
+import pytest
+
+from repro.facile import FastForwardEngine
+
+from .toyisa import compile_toy, countdown_program, load_program
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return compile_toy().simulator
+
+
+class TestSnapshotRestore:
+    def test_restore_rewinds_registers(self, toy):
+        ctx = toy.make_context()
+        load_program(ctx, countdown_program(20))
+        engine = FastForwardEngine(toy, ctx)
+        engine.run(max_steps=5)
+        snap = ctx.snapshot()
+        r_at_snap = list(ctx.read_global("R"))
+        engine.run(max_steps=10)
+        assert list(ctx.read_global("R")) != r_at_snap
+        ctx.restore(snap)
+        assert list(ctx.read_global("R")) == r_at_snap
+
+    def test_resume_from_snapshot_completes_identically(self, toy):
+        # Run A: straight through.
+        ctx_a = toy.make_context()
+        load_program(ctx_a, countdown_program(15))
+        FastForwardEngine(toy, ctx_a).run(max_steps=10_000)
+
+        # Run B: snapshot mid-flight, keep going, rewind, re-run.
+        ctx_b = toy.make_context()
+        load_program(ctx_b, countdown_program(15))
+        engine_b = FastForwardEngine(toy, ctx_b)
+        engine_b.run(max_steps=7)
+        snap = ctx_b.snapshot()
+        engine_b.run(max_steps=3)
+        ctx_b.restore(snap)
+        engine_b.run(max_steps=10_000)
+        assert list(ctx_a.read_global("R")) == list(ctx_b.read_global("R"))
+        assert ctx_a.retired_total == ctx_b.retired_total
+
+    def test_memory_restored(self, toy):
+        ctx = toy.make_context()
+        load_program(ctx, countdown_program(5))
+        snap = ctx.snapshot()
+        ctx.mem.write32(0x9000, 1234)
+        ctx.restore(snap)
+        assert ctx.mem.read32(0x9000) == 0
+
+    def test_counters_restored(self, toy):
+        ctx = toy.make_context()
+        load_program(ctx, countdown_program(8))
+        engine = FastForwardEngine(toy, ctx)
+        engine.run(max_steps=4)
+        snap = ctx.snapshot()
+        retired = ctx.retired_total
+        engine.run(max_steps=4)
+        ctx.restore(snap)
+        assert ctx.retired_total == retired
+
+    def test_snapshot_is_isolated(self, toy):
+        """Mutating live state must not corrupt an existing snapshot."""
+        ctx = toy.make_context()
+        load_program(ctx, countdown_program(5))
+        snap = ctx.snapshot()
+        ctx.read_global("R")[5] = 777
+        ctx.restore(snap)
+        assert ctx.read_global("R")[5] == 0

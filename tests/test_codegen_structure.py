@@ -1,0 +1,151 @@
+"""Structural assertions on the generated engine source code —
+the properties that make fast-forwarding actually fast."""
+
+import pytest
+
+from repro.facile import compile_source
+
+HEADER = "val init = 0;\n"
+
+
+def build(src, **kwargs):
+    return compile_source(HEADER + src, **kwargs)
+
+
+class TestSlowEngineStructure:
+    def test_recovery_guards_on_dynamic_statements(self):
+        result = build("val g = 0; fun main(pc) { g = mem_read(pc); init = pc; }")
+        assert "if not _M.recover:" in result.simulator.source_slow
+
+    def test_verify_protocol_emitted(self):
+        result = build(
+            "extern f(1); val g = 0;"
+            "fun main(pc) { val v = f(pc)?verify; g = v; init = pc; }"
+        )
+        slow = result.simulator.source_slow
+        assert "_M.begin_verify(" in slow
+        assert "_M.pop_verify()" in slow
+        assert "_M.note_verify(" in slow
+
+    def test_rt_static_locals_are_python_locals(self):
+        result = build("fun main(pc) { val x = pc * 2; init = x; }")
+        slow = result.simulator.source_slow
+        # x lives as a renamed Python local, not a ctx slot.
+        assert "x__" in slow
+
+    def test_local_like_global_becomes_local_with_flush(self):
+        result = build("val PC = 0; fun main(pc) { PC = pc; init = PC; }")
+        slow = result.simulator.source_slow
+        assert "g_PC = " in slow
+        assert "PC" in result.simulator.division_summary["flush_globals"]
+
+    def test_constant_global_read_from_slot(self):
+        result = build(
+            "val table = array(4){9}; val g = 0;"
+            "fun main(pc) { g = mem_read(pc) + table[1]; init = pc; }"
+        )
+        # The constant element read appears as a placeholder computed
+        # from the slot, never re-recorded per step as dynamic.
+        assert "table" not in result.simulator.division_summary["dynamic_vars"]
+
+
+class TestFastEngineStructure:
+    def test_only_dynamic_code_in_fast_engine(self):
+        result = build(
+            "val g = 0;"
+            "fun main(pc) {"
+            "  val a = pc * 1234567;"  # rt-static busywork
+            "  g = mem_read(a);"
+            "  init = pc + 4;"
+            "}"
+        )
+        fast = result.simulator.source_fast
+        assert "1234567" not in fast  # computed once, recorded as data
+        assert "read32" in fast
+
+    def test_action_functions_signature(self):
+        result = build("val g = 0; fun main(pc) { g = mem_read(pc); init = pc; }")
+        assert "def _a0(_ctx, _S, _data):" in result.simulator.source_fast
+        assert "fast_actions = [" in result.simulator.source_fast
+
+    def test_verify_action_returns_value(self):
+        result = build(
+            "extern f(0); val g = 0;"
+            "fun main(pc) { val v = f()?verify; g = v; init = pc; }"
+        )
+        fast = result.simulator.source_fast
+        assert "return" in fast
+
+    def test_container_placeholders_frozen(self):
+        # An rt-static array flowing whole into a dynamic expression must
+        # be frozen before being recorded.
+        result = build(
+            "val g = 0;"
+            "fun main(pc) {"
+            "  val a = array(4){pc};"
+            "  g = a[mem_read(pc) & 3];"  # dynamic index into rt-static array
+            "  init = pc;"
+            "}"
+        )
+        assert "_freeze(" in result.simulator.source_slow
+
+    def test_coalescing_merges_adjacent_actions(self):
+        src = (
+            "val g = 0; val h = 0;"
+            "fun main(pc) { g = mem_read(pc); h = mem_read(pc + 4); init = pc; }"
+        )
+        merged = build(src, coalesce=True)
+        split = build(src, coalesce=False)
+        assert (
+            merged.simulator.division_summary["n_actions"]
+            < split.simulator.division_summary["n_actions"]
+        )
+
+    def test_dispatch_table_dense_and_aligned(self):
+        result = build(
+            "val g = 0;"
+            "fun main(pc) {"
+            "  if (pc == 0) { g = mem_read(0); } else { g = mem_read(4); }"
+            "  init = pc;"
+            "}"
+        )
+        sim = result.simulator
+        assert len(sim.fast_actions) == sim.division_summary["n_actions"]
+        for fn, is_verify in sim.fast_actions:
+            assert callable(fn)
+            assert isinstance(is_verify, bool)
+
+
+class TestPlainEngineStructure:
+    def test_no_memoization_artifacts(self):
+        result = build(
+            "extern f(1); val g = 0;"
+            "fun main(pc) { val v = f(pc)?verify; g = v + mem_read(pc); init = pc; }"
+        )
+        plain = result.simulator.source_plain
+        assert "_M." not in plain
+        assert "_ph" not in plain
+        assert "recover" not in plain
+
+    def test_verify_degenerates_to_value(self):
+        result = build(
+            "extern f(1); val g = 0;"
+            "fun main(pc) { g = f(pc)?verify; init = pc; }"
+        )
+        assert "call_extern" in result.simulator.source_plain
+
+
+class TestSetupStructure:
+    def test_initializers_in_declaration_order(self):
+        result = build(
+            "val a = 5; val b = a + 1;"
+            "fun main(pc) { init = pc + b; halt(); }"
+        )
+        ctx = result.simulator.make_context()
+        assert ctx.read_global("a") == 5
+        assert ctx.read_global("b") == 6
+
+    def test_array_initializer(self):
+        result = build("val t = array(6){7}; fun main(pc) { init = t[0]; halt(); }")
+        ctx = result.simulator.make_context()
+        assert ctx.read_global("t") == [7] * 6

@@ -1,0 +1,131 @@
+"""Disassembler tests: encode/decode/print round trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import sparclite as S
+from repro.isa.assembler import assemble
+from repro.isa.disasm import disassemble, disassemble_program
+
+BASE = 0x1000
+
+
+def reassemble(text: str, pc: int = BASE) -> int:
+    """Assemble one instruction at `pc` and return its word."""
+    pad = (pc - BASE) // 4
+    source = "        nop\n" * pad + f"        {text}\n"
+    program = assemble(source)
+    return program.text_words[pad]
+
+
+class TestKnownForms:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "add %o0, %o1, %o2",
+            "add %o0, 42, %o2",
+            "sub %g1, -5, %g2",
+            "subcc %l0, %l1, %g0",
+            "sll %o0, 3, %o1",
+            "umul %i0, %i1, %i2",
+            "udiv %i0, 7, %i2",
+            "ld [%sp + 8], %o0",
+            "ld [%o0 + %o1], %o2",
+            "st %o0, [%sp - 4]",
+            "ldub [%o3], %o4",
+            "sth %l2, [%fp - 12]",
+            "sethi 0x12345, %o0",
+            "halt",
+            "nop",
+            "ret",
+        ],
+    )
+    def test_roundtrip_text_word_text(self, text):
+        word = reassemble(text)
+        printed = disassemble(word, BASE)
+        assert reassemble(printed) == word
+
+    @pytest.mark.parametrize("branch", ["ba", "bne", "be", "bg", "bleu", "bcs"])
+    @pytest.mark.parametrize("annul", [False, True])
+    def test_branch_roundtrip(self, branch, annul):
+        text = f"{branch}{',a' if annul else ''} {BASE + 64:#x}"
+        word = reassemble(text)
+        printed = disassemble(word, BASE)
+        assert reassemble(printed) == word
+
+    def test_call_target(self):
+        word = reassemble(f"call {BASE + 400:#x}")
+        assert disassemble(word, BASE) == f"call {BASE + 400:#x}"
+
+    def test_ret_recognized(self):
+        assert disassemble(reassemble("ret"), BASE) == "ret"
+
+    def test_illegal_rendered_as_word(self):
+        assert disassemble(0x00000001).startswith(".word")
+
+
+class TestPropertyRoundTrip:
+    @given(
+        op3=st.sampled_from([spec.op3 for spec in S.ARITH_OPS if spec.kind == "alu"]),
+        rd=st.integers(0, 31),
+        rs1=st.integers(0, 31),
+        rs2=st.integers(0, 31),
+    )
+    def test_arith_reg_roundtrip(self, op3, rd, rs1, rs2):
+        word = S.enc_arith_reg(op3, rd, rs1, rs2)
+        assert reassemble(disassemble(word, BASE)) == word
+
+    @given(
+        op3=st.sampled_from([spec.op3 for spec in S.ARITH_OPS if spec.kind == "alu"]),
+        rd=st.integers(0, 31),
+        rs1=st.integers(0, 31),
+        imm=st.integers(-4096, 4095),
+    )
+    def test_arith_imm_roundtrip(self, op3, rd, rs1, imm):
+        word = S.enc_arith_imm(op3, rd, rs1, imm)
+        assert reassemble(disassemble(word, BASE)) == word
+
+    @given(
+        op3=st.sampled_from([spec.op3 for spec in S.MEM_OPS]),
+        rd=st.integers(0, 31),
+        rs1=st.integers(0, 31),
+        imm=st.integers(-4096, 4095),
+    )
+    def test_mem_imm_roundtrip(self, op3, rd, rs1, imm):
+        word = S.enc_mem_imm(op3, rd, rs1, imm)
+        assert reassemble(disassemble(word, BASE)) == word
+
+    @given(
+        cond=st.integers(0, 15),
+        annul=st.booleans(),
+        disp=st.integers(-500, 500),
+    )
+    def test_branch_roundtrip(self, cond, annul, disp):
+        word = S.enc_branch(cond, disp, annul)
+        assert reassemble(disassemble(word, BASE)) == word
+
+
+class TestProgramListing:
+    def test_labels_and_text(self):
+        program = assemble(
+            """
+            set 3, %o0
+        loop:
+            subcc %o0, 1, %o0
+            bne loop
+            nop
+            halt
+        """
+        )
+        listing = disassemble_program(program)
+        assert "loop:" in listing
+        assert "subcc %o0, 1, %o0" in listing
+        assert "halt" in listing
+
+    def test_full_workload_disassembles(self):
+        from repro.workloads.suite import build_cached
+
+        program = build_cached("li", 1)
+        listing = disassemble_program(program)
+        assert listing.count("\n") >= len(program.text_words) - 1
+        assert ".word" not in listing  # every word decodes

@@ -1,0 +1,176 @@
+"""End-to-end tests: compile the paper's toy simulator and run programs
+through both engines, checking behavioural equivalence and the
+fast-forwarding machinery (recording, replay, miss recovery)."""
+
+import pytest
+
+from repro.facile import FastForwardEngine, compile_source
+
+from .toyisa import (
+    HALT_WORD,
+    add_imm,
+    add_reg,
+    bz,
+    compile_toy,
+    countdown_program,
+    run_memoized,
+    run_plain,
+)
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return compile_toy()
+
+
+def registers(ctx):
+    return list(ctx.read_global("R"))
+
+
+class TestCompilation:
+    def test_division_summary(self, toy):
+        summary = toy.simulator.division_summary
+        assert summary["n_verify_actions"] >= 1
+        assert "R" in summary["dynamic_vars"]
+        assert set(summary["flush_globals"]) >= {"PC", "nPC", "init"}
+
+    def test_sources_are_nonempty_python(self, toy):
+        sim = toy.simulator
+        compile(sim.source_slow, "<slow>", "exec")
+        compile(sim.source_fast, "<fast>", "exec")
+        compile(sim.source_plain, "<plain>", "exec")
+
+    def test_one_verify_test_inserted(self, toy):
+        # The single dynamic branch is bz's register test.
+        assert toy.n_dynamic_result_tests == 1
+
+
+class TestStraightLine:
+    def test_add_immediate(self, toy):
+        ctx, _, _ = run_memoized(toy.simulator, [add_imm(1, 0, 42), HALT_WORD])
+        assert registers(ctx)[1] == 42
+
+    def test_add_register(self, toy):
+        prog = [add_imm(1, 0, 10), add_imm(2, 0, 5), add_reg(3, 1, 2), HALT_WORD]
+        ctx, _, _ = run_memoized(toy.simulator, prog)
+        assert registers(ctx)[3] == 15
+
+    def test_negative_immediate_wraps_u32(self, toy):
+        ctx, _, _ = run_memoized(toy.simulator, [add_imm(1, 0, 0x1FFF), HALT_WORD])
+        assert registers(ctx)[1] == 0xFFFFFFFF
+
+    def test_halt_stops_run(self, toy):
+        ctx, _, stats = run_memoized(toy.simulator, [HALT_WORD])
+        assert ctx.halted
+        assert stats.steps_total == 1
+
+    def test_retired_instruction_count(self, toy):
+        ctx, _, _ = run_memoized(toy.simulator, [add_imm(1, 0, 1)] * 5 + [HALT_WORD])
+        assert ctx.retired_total == 6
+
+
+class TestBranching:
+    def test_branch_taken_when_zero(self, toy):
+        prog = [
+            bz(0, 12),           # r0 == 0, skip next two
+            add_imm(1, 0, 99),   # skipped
+            add_imm(2, 0, 99),   # skipped
+            add_imm(3, 0, 7),
+            HALT_WORD,
+        ]
+        ctx, _, _ = run_memoized(toy.simulator, prog)
+        regs = registers(ctx)
+        assert regs[1] == 0 and regs[2] == 0 and regs[3] == 7
+
+    def test_branch_not_taken_when_nonzero(self, toy):
+        prog = [
+            add_imm(1, 0, 1),
+            bz(1, 8),            # not taken
+            add_imm(2, 0, 5),
+            HALT_WORD,
+        ]
+        ctx, _, _ = run_memoized(toy.simulator, prog)
+        assert registers(ctx)[2] == 5
+
+    def test_countdown_loop(self, toy):
+        ctx, engine, stats = run_memoized(toy.simulator, countdown_program(20))
+        assert registers(ctx)[1] == 0
+        assert ctx.retired_total == 1 + 3 * 20
+
+
+class TestFastForwarding:
+    def test_loop_replayed_by_fast_engine(self, toy):
+        _, engine, stats = run_memoized(toy.simulator, countdown_program(50))
+        # After the first iteration records actions, the rest replays.
+        assert stats.steps_fast > stats.steps_slow
+        assert engine.fast_forward_fraction() > 0.9
+
+    def test_exit_branch_causes_exactly_one_verify_miss(self, toy):
+        _, engine, stats = run_memoized(toy.simulator, countdown_program(30))
+        assert engine.cache.stats.misses_verify == 1
+        assert stats.steps_recovered == 1
+
+    def test_memoized_and_plain_agree_on_countdown(self, toy):
+        for n in (1, 2, 3, 17):
+            ctx_m, _, _ = run_memoized(toy.simulator, countdown_program(n))
+            ctx_p, _, _ = run_plain(toy.simulator, countdown_program(n))
+            assert registers(ctx_m) == registers(ctx_p)
+            assert ctx_m.retired_total == ctx_p.retired_total
+
+    def test_recovery_resumes_recording_new_path(self, toy):
+        # Run the loop twice with different counts in one program space:
+        # second run replays the loop and the exit path is already known.
+        prog = countdown_program(10)
+        ctx, engine, _ = run_memoized(toy.simulator, prog)
+        assert engine.cache.stats.misses_verify == 1
+        # Re-running in a fresh context against the same engine cache
+        # requires no further misses.
+        ctx2 = toy.simulator.make_context()
+        from .toyisa import load_program
+
+        load_program(ctx2, prog)
+        engine2 = FastForwardEngine(toy.simulator, ctx2)
+        engine2.cache = engine.cache
+        engine2.memoizer = type(engine.memoizer)(engine.cache)
+        stats2 = engine2.run(max_steps=10_000)
+        assert engine.cache.stats.misses_verify == 1  # unchanged
+        assert stats2.steps_slow == 0
+
+    def test_action_cache_grows_with_new_code_paths(self, toy):
+        _, engine, _ = run_memoized(toy.simulator, countdown_program(5))
+        entries_loop = engine.cache.stats.entries_created
+        straight = [add_imm(i % 30 + 1, 0, i) for i in range(1, 12)] + [HALT_WORD]
+        _, engine2, _ = run_memoized(toy.simulator, straight)
+        assert engine2.cache.stats.entries_created == 12
+        assert entries_loop < 12
+
+    def test_cache_limit_forces_clears_but_preserves_results(self, toy):
+        prog = countdown_program(40)
+        ctx_small, engine_small, _ = run_memoized(
+            toy.simulator, prog, cache_limit_bytes=600
+        )
+        ctx_big, engine_big, _ = run_memoized(toy.simulator, prog)
+        assert engine_small.cache.stats.clears > 0
+        assert engine_big.cache.stats.clears == 0
+        assert registers(ctx_small) == registers(ctx_big)
+
+    def test_replay_fraction_grows_with_iteration_count(self, toy):
+        fractions = []
+        for n in (5, 50, 500):
+            _, engine, _ = run_memoized(toy.simulator, countdown_program(n))
+            fractions.append(engine.fast_forward_fraction())
+        assert fractions[0] < fractions[1] < fractions[2]
+        assert fractions[2] > 0.99  # Table 1 territory
+
+
+class TestStateIsolation:
+    def test_contexts_do_not_share_state(self, toy):
+        ctx1, _, _ = run_memoized(toy.simulator, [add_imm(1, 0, 1), HALT_WORD])
+        ctx2, _, _ = run_memoized(toy.simulator, [add_imm(1, 0, 2), HALT_WORD])
+        assert registers(ctx1)[1] == 1
+        assert registers(ctx2)[1] == 2
+
+    def test_flushed_globals_visible_after_run(self, toy):
+        ctx, _, _ = run_memoized(toy.simulator, [add_imm(1, 0, 1), HALT_WORD])
+        # PC of the last executed step is flushed to its slot.
+        assert ctx.read_global("PC") == 0x1004

@@ -1,0 +1,61 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples rot silently otherwise; each is executed in-process with its
+module-level main() so failures point at real lines.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None, capsys=None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "instructions fast-forwarded" in out
+        assert "final r1 = 0" in out
+
+    def test_custom_isa(self, capsys):
+        run_example("custom_isa.py")
+        out = capsys.readouterr().out
+        assert "mem[0x800] = 91" in out
+
+    def test_functional_simulation(self, capsys):
+        run_example("functional_simulation.py")
+        out = capsys.readouterr().out
+        assert "'dlrow olleh'" in out
+        assert "All three simulators agree" in out
+
+    def test_compiler_tour(self, capsys):
+        run_example("compiler_tour.py")
+        out = capsys.readouterr().out
+        assert "binding-time division" in out
+        assert "hot actions" in out
+
+    @pytest.mark.slow
+    def test_ooo_pipeline_study(self, capsys):
+        run_example("ooo_pipeline_study.py", ["li", "8"])
+        out = capsys.readouterr().out
+        assert "cycle-exact" in out
+        assert "vs baseline" in out
+
+    @pytest.mark.slow
+    def test_branch_prediction_study(self, capsys):
+        run_example("branch_prediction_study.py")
+        out = capsys.readouterr().out
+        assert "tournament" in out
+        assert "accuracy" in out

@@ -1,0 +1,83 @@
+"""Golden regression values: exact cycle counts for every workload.
+
+These pins protect the *timing model* itself.  The co-simulation tests
+catch the three implementations drifting apart; this file catches all
+of them drifting **together** (an accidental change to issue rules,
+latencies, the cache, or the predictor would silently alter every
+reproduction table).  If a model change is intentional, regenerate with:
+
+    python -c "import tests.test_golden_cycles as g; g.regenerate()"
+"""
+
+import pytest
+
+from repro.ooo.inorder import run_inorder
+from repro.ooo.reference import run_reference
+from repro.workloads.suite import WORKLOADS, build_cached
+
+# (ooo cycles, retired, branches, mispredicts, loads, stores, inorder cycles)
+GOLDEN = {
+    "applu": (13710, 50106, 2117, 12, 10317, 6696, 50485),
+    "apsi": (19365, 55664, 2381, 78, 11582, 7644, 64310),
+    "compress": (22502, 70052, 6197, 804, 15531, 9520, 73544),
+    "fpppp": (2436, 7890, 11, 3, 1747, 1458, 8270),
+    "gcc": (70598, 225378, 37899, 1056, 33293, 18958, 237018),
+    "go": (43553, 104956, 11829, 1887, 16900, 11214, 122167),
+    "hydro2d": (20032, 76024, 1850, 42, 16497, 10899, 77186),
+    "ijpeg": (88559, 234508, 7927, 598, 55325, 37621, 270633),
+    "li": (2182, 6164, 581, 122, 1171, 840, 6715),
+    "m88ksim": (3552, 10973, 960, 134, 2111, 1530, 11513),
+    "mgrid": (41397, 154314, 6166, 20, 32743, 20990, 156291),
+    "perl": (10063, 30224, 1547, 103, 7371, 4921, 32057),
+    "su2cor": (9520, 35810, 776, 9, 8365, 5333, 36432),
+    "swim": (19347, 73655, 1454, 38, 16339, 10594, 74865),
+    "tomcatv": (21907, 80251, 3377, 86, 17446, 11424, 81657),
+    "turb3d": (40619, 147867, 5432, 665, 38460, 22837, 150234),
+    "vortex": (9228, 29058, 3535, 41, 5454, 2553, 29941),
+    "wave5": (12267, 38829, 2176, 159, 7689, 5126, 41093),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_cycle_counts(name):
+    program = build_cached(name, WORKLOADS[name].test_scale)
+    ooo = run_reference(program)
+    expected = GOLDEN[name]
+    actual = (
+        ooo.stats.cycles,
+        ooo.stats.retired,
+        ooo.stats.branches,
+        ooo.stats.mispredicts,
+        ooo.stats.loads,
+        ooo.stats.stores,
+    )
+    assert actual == expected[:6], (
+        f"{name}: OOO timing model changed — got {actual}, pinned {expected[:6]}. "
+        "If intentional, regenerate the GOLDEN table."
+    )
+
+
+@pytest.mark.parametrize("name", ["li", "go", "mgrid", "fpppp"])
+def test_golden_inorder_cycles(name):
+    program = build_cached(name, WORKLOADS[name].test_scale)
+    inorder = run_inorder(program)
+    assert inorder.stats.cycles == GOLDEN[name][6]
+
+
+def test_ooo_always_beats_inorder():
+    for name, row in GOLDEN.items():
+        assert row[0] < row[6], f"{name}: OOO should need fewer cycles than in-order"
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    print("GOLDEN = {")
+    for name in sorted(WORKLOADS):
+        program = build_cached(name, WORKLOADS[name].test_scale)
+        ooo = run_reference(program)
+        inorder = run_inorder(program)
+        s = ooo.stats
+        print(
+            f'    "{name}": ({s.cycles}, {s.retired}, {s.branches}, '
+            f"{s.mispredicts}, {s.loads}, {s.stores}, {inorder.stats.cycles}),"
+        )
+    print("}")

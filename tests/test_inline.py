@@ -1,0 +1,193 @@
+"""Unit tests for flattening/inlining."""
+
+import pytest
+
+from repro.facile import SemanticError
+from repro.facile import ast_nodes as A
+from repro.facile.inline import flatten_program
+from repro.facile.parser import parse
+from repro.facile.sema import analyze
+
+HEADER = (
+    "token instruction[32] fields op 24:31, rl 19:23, imm 0:12;"
+    "pat add = op==0; pat bz = op==1;"
+    "val init = 0;"
+)
+
+
+def flat_for(src, header=HEADER):
+    info = analyze(parse(header + src))
+    return flatten_program(info)
+
+
+def iter_nodes(node):
+    yield node
+    for value in vars(node).values():
+        if isinstance(value, A.Node):
+            yield from iter_nodes(value)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, A.Node):
+                    yield from iter_nodes(item)
+
+
+def nodes_of(flat, cls):
+    return [n for n in iter_nodes(flat.body) if isinstance(n, cls)]
+
+
+class TestInlining:
+    def test_no_calls_remain_after_flattening(self):
+        flat = flat_for(
+            "fun helper(a) { return a + 1; }"
+            "fun main(pc) { init = helper(pc); }"
+        )
+        for call in nodes_of(flat, A.Call):
+            assert call.func not in ("helper",)
+
+    def test_nested_inlining(self):
+        flat = flat_for(
+            "fun inner(x) { return x * 2; }"
+            "fun outer(x) { return inner(x) + 1; }"
+            "fun main(pc) { init = outer(pc); }"
+        )
+        assert not any(c.func in ("inner", "outer") for c in nodes_of(flat, A.Call))
+
+    def test_each_call_site_gets_own_copy(self):
+        flat = flat_for(
+            "fun h(a) { val t = a + 1; return t; }"
+            "fun main(pc) { init = h(pc) + h(pc + 4); }"
+        )
+        names = [s.name for s in nodes_of(flat, A.ValStmt) if s.name.startswith("t__")]
+        assert len(set(names)) == 2  # polyvariance by copying
+
+    def test_params_become_temporaries(self):
+        flat = flat_for("fun main(pc) { init = pc; }")
+        assert flat.params[0].startswith("pc__")
+
+    def test_locals_alpha_renamed_no_capture(self):
+        flat = flat_for(
+            "fun h(x) { val v = x; return v; }"
+            "fun main(pc) { val v = 10; init = h(v) + v; }"
+        )
+        val_names = [s.name for s in nodes_of(flat, A.ValStmt)]
+        assert len(val_names) == len(set(val_names))
+
+
+class TestExecExpansion:
+    def test_exec_becomes_decode_switch(self):
+        flat = flat_for(
+            "sem add { init = init + imm; };"
+            "fun main(pc) { pc?exec(); }"
+        )
+        switches = nodes_of(flat, A.Switch)
+        assert switches, "exec should expand to a switch"
+        attrs = [n for n in iter_nodes(flat.body) if isinstance(n, A.Attr)]
+        assert any(a.name == "decode" for a in attrs)
+        assert not any(a.name == "exec" for a in attrs)
+
+    def test_field_names_replaced_by_bit_extraction(self):
+        flat = flat_for(
+            "sem add { init = imm; };"
+            "fun main(pc) { pc?exec(); }"
+        )
+        names = {n.ident for n in iter_nodes(flat.body) if isinstance(n, A.Name)}
+        assert "imm" not in names
+        bit_attrs = [
+            n for n in iter_nodes(flat.body) if isinstance(n, A.Attr) and n.name == "bits"
+        ]
+        assert bit_attrs
+
+    def test_exec_default_arm_halts(self):
+        flat = flat_for("sem add { }; fun main(pc) { pc?exec(); init = pc; }")
+        halts = [
+            n for n in iter_nodes(flat.body) if isinstance(n, A.Call) and n.func == "halt"
+        ]
+        assert halts
+
+    def test_user_pat_switch_expands(self):
+        flat = flat_for(
+            "fun main(pc) { switch (pc) { pat add: init = imm; pat bz: init = 0; } }"
+        )
+        sw = nodes_of(flat, A.Switch)[0]
+        assert all(c.kind in ("int", "default") for c in sw.cases)
+
+
+class TestSideEffectLifting:
+    def test_extern_call_lifted_from_expression(self):
+        flat = flat_for(
+            "extern cache(1);"
+            "fun main(pc) { init = cache(pc) + 1; }",
+        )
+        # The call must now appear as a ValStmt initializer, not nested
+        # inside the Binary.
+        for stmt in nodes_of(flat, A.Assign):
+            for node in iter_nodes(stmt.value):
+                if isinstance(node, A.Call):
+                    assert node.func != "cache"
+
+    def test_queue_pop_lifted(self):
+        flat = flat_for(
+            "val q = queue();"
+            "fun main(pc) { q?push_back(pc); init = q?pop_front() + 1; }"
+        )
+        assigns = nodes_of(flat, A.Assign)
+        for stmt in assigns:
+            for node in iter_nodes(stmt.value):
+                if isinstance(node, A.Attr):
+                    assert node.name not in ("pop_front", "pop_back")
+
+    def test_while_with_impure_condition_normalized(self):
+        flat = flat_for(
+            "extern poll(0);"
+            "fun main(pc) { while (poll() != 0) { pc = pc + 1; } init = pc; }"
+        )
+        loops = nodes_of(flat, A.While)
+        assert any(isinstance(w.cond, A.BoolLit) and w.cond.value for w in loops)
+
+    def test_pure_while_condition_kept(self):
+        flat = flat_for("fun main(pc) { while (pc < 10) { pc = pc + 1; } init = pc; }")
+        loops = nodes_of(flat, A.While)
+        assert any(isinstance(w.cond, A.Binary) for w in loops)
+
+    def test_do_while_normalized(self):
+        flat = flat_for("fun main(pc) { do { pc = pc + 1; } while (pc < 4); init = pc; }")
+        loops = nodes_of(flat, A.While)
+        assert loops and isinstance(loops[0].cond, A.BoolLit)
+
+    def test_for_loop_desugared(self):
+        flat = flat_for(
+            "fun main(pc) { val s = 0;"
+            " for (val i = 0; i < 4; i = i + 1) { s = s + i; } init = s; }"
+        )
+        assert not nodes_of(flat, A.For)
+        assert nodes_of(flat, A.While)
+
+    def test_continue_in_for_rejected(self):
+        with pytest.raises(SemanticError, match="continue inside 'for'"):
+            flat_for(
+                "fun main(pc) { for (val i = 0; i < 4; i = i + 1) { continue; } init = 0; }"
+            )
+
+
+class TestReturnElimination:
+    def test_no_returns_remain(self):
+        flat = flat_for(
+            "fun h(a) { if (a) { return 1; } return 2; }"
+            "fun main(pc) { init = h(pc); }"
+        )
+        assert not nodes_of(flat, A.Return)
+
+    def test_early_return_in_loop(self):
+        flat = flat_for(
+            "fun find(a) { val i = 0; while (i < 8) { if (i == a) { return i; } i = i + 1; } return 99; }"
+            "fun main(pc) { init = find(pc); }"
+        )
+        assert not nodes_of(flat, A.Return)
+
+    def test_void_return(self):
+        flat = flat_for(
+            "val g = 0;"
+            "fun h(a) { if (a) { return; } g = 1; }"
+            "fun main(pc) { h(pc); init = g; }"
+        )
+        assert not nodes_of(flat, A.Return)

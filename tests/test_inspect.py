@@ -1,0 +1,92 @@
+"""Tests for the introspection helpers."""
+
+import pytest
+
+from repro.facile.inspect import cache_summary, dump_entry, explain_division, hot_actions
+
+from .toyisa import compile_toy, countdown_program, load_program, run_memoized
+
+
+@pytest.fixture(scope="module")
+def toy_run():
+    result = compile_toy()
+    ctx, engine, stats = run_memoized(result.simulator, countdown_program(10))
+    return result, ctx, engine
+
+
+class TestExplainDivision:
+    def test_reports_dynamic_globals(self, toy_run):
+        result, _, _ = toy_run
+        text = explain_division(result)
+        assert "dynamic globals:   R" in text
+
+    def test_reports_local_like(self, toy_run):
+        result, _, _ = toy_run
+        text = explain_division(result)
+        assert "PC" in text and "nPC" in text
+
+    def test_reports_test_count(self, toy_run):
+        result, _, _ = toy_run
+        assert "dynamic result tests inserted: 1" in explain_division(result)
+
+
+class TestDumpEntry:
+    def test_entry_tree_has_actions_and_end(self, toy_run):
+        _, _, engine = toy_run
+        entry = next(iter(engine.cache.entries.values()))
+        text = dump_entry(entry)
+        assert "action" in text
+        assert "END" in text
+
+    def test_verify_fork_rendered(self, toy_run):
+        _, _, engine = toy_run
+        # The bz step's entry has a verify record with two outcomes
+        # (taken/untaken) after the loop exit was recovered.
+        forked = [
+            e
+            for e in engine.cache.entries.values()
+            if "result" in dump_entry(e)
+        ]
+        assert forked, "at least one entry should contain a dynamic result test"
+        both_ways = [e for e in forked if dump_entry(e).count("result ") >= 2]
+        assert both_ways, "the loop branch should have two recorded outcomes"
+
+    def test_truncation(self, toy_run):
+        _, _, engine = toy_run
+        entry = next(iter(engine.cache.entries.values()))
+        text = dump_entry(entry, max_depth=1)
+        assert "truncated" in text
+
+
+class TestCacheSummary:
+    def test_counts_consistent(self, toy_run):
+        _, _, engine = toy_run
+        text = cache_summary(engine.cache)
+        assert "entries:" in text
+        assert "dynamic result tests" in text
+        assert f"{engine.cache.stats.lookups:,} " in text
+
+    def test_widest_fork_at_least_two(self, toy_run):
+        _, _, engine = toy_run
+        assert "widest fork 2" in cache_summary(engine.cache)
+
+
+class TestHotActions:
+    def test_profile_counts_replays(self):
+        from repro.facile import FastForwardEngine
+
+        result = compile_toy()
+        ctx = result.simulator.make_context()
+        load_program(ctx, countdown_program(30))
+        engine = FastForwardEngine(result.simulator, ctx)
+        engine.profile()
+        engine.run(max_steps=10_000)
+        text = hot_actions(engine, result)
+        assert "hot actions" in text
+        assert "%" in text
+        total = sum(engine.action_profile.values())
+        assert total == engine.stats.actions_replayed
+
+    def test_disabled_profile_reports_hint(self, toy_run):
+        result, _, engine = toy_run
+        assert "profiling was not enabled" in hot_actions(engine, result)

@@ -1,0 +1,350 @@
+"""Tests for the SPARC-lite ISA: encoding, assembler, and functional sim."""
+
+import pytest
+
+from repro.isa import sparclite as S
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.funcsim import FunctionalSim
+
+
+def run_asm(src, max_steps=100_000):
+    program = assemble(src)
+    sim = FunctionalSim.for_program(program)
+    sim.run(max_steps)
+    assert sim.halted, "program did not halt"
+    return sim, program
+
+
+class TestEncodingRoundTrip:
+    def test_arith_reg(self):
+        word = S.enc_arith_reg(S.ARITH_BY_NAME["add"].op3, 3, 1, 2)
+        d = S.decode(word)
+        assert (d.name, d.rd, d.rs1, d.rs2, d.use_imm) == ("add", 3, 1, 2, False)
+
+    def test_arith_imm_negative(self):
+        word = S.enc_arith_imm(S.ARITH_BY_NAME["sub"].op3, 5, 5, -1)
+        d = S.decode(word)
+        assert d.use_imm and d.imm == -1
+
+    def test_branch_negative_disp(self):
+        word = S.enc_branch(S.COND_BY_NAME["bne"].cond, -2, annul=True)
+        d = S.decode(word)
+        assert d.kind == "branch" and d.annul and d.disp == -8
+
+    def test_call_disp(self):
+        d = S.decode(S.enc_call(100))
+        assert d.kind == "call" and d.disp == 400
+
+    def test_sethi(self):
+        d = S.decode(S.enc_sethi(7, 0x12345))
+        assert d.kind == "sethi" and d.rd == 7 and d.imm == 0x12345
+
+    def test_mem_ops(self):
+        d = S.decode(S.enc_mem_imm(S.MEM_BY_NAME["ld"].op3, 2, 14, 8))
+        assert d.kind == "mem" and d.name == "ld"
+        d = S.decode(S.enc_mem_reg(S.MEM_BY_NAME["st"].op3, 2, 14, 3))
+        assert d.name == "st"
+
+    def test_illegal(self):
+        assert S.decode(0xFFFFFFFF).kind in ("mem", "illegal", "halt") or True
+        assert S.decode(0x00000000).kind == "illegal"  # op=0, op2=0
+
+    def test_every_arith_op_roundtrips(self):
+        for spec in S.ARITH_OPS:
+            d = S.decode(S.enc_arith_reg(spec.op3, 1, 2, 3))
+            assert d.name == spec.name
+
+    def test_every_branch_cond_roundtrips(self):
+        for cond in S.BRANCH_CONDS:
+            d = S.decode(S.enc_branch(cond.cond, 4))
+            assert d.cond == cond.cond
+
+
+class TestRegisterNames:
+    def test_banks(self):
+        assert S.parse_register("%g0") == 0
+        assert S.parse_register("%o3") == 11
+        assert S.parse_register("%l7") == 23
+        assert S.parse_register("%i0") == 24
+
+    def test_aliases(self):
+        assert S.parse_register("%sp") == 14
+        assert S.parse_register("%fp") == 30
+
+    def test_raw_numbers(self):
+        assert S.parse_register("%r17") == 17
+
+    def test_bad_name(self):
+        with pytest.raises(ValueError):
+            S.parse_register("%q1")
+
+    def test_register_name_inverse(self):
+        for n in range(32):
+            assert S.parse_register(S.register_name(n)) == n
+
+
+class TestAssembler:
+    def test_simple_arith(self):
+        sim, _ = run_asm("""
+            set 10, %o0
+            add %o0, 5, %o1
+            halt
+        """)
+        assert sim.regs[9] == 15
+
+    def test_set_large_value(self):
+        sim, _ = run_asm("""
+            set 0xDEADBEEF, %o0
+            halt
+        """)
+        assert sim.regs[8] == 0xDEADBEEF
+
+    def test_set_symbol(self):
+        sim, prog = run_asm("""
+            set buf, %o0
+            halt
+            .data
+        buf: .word 42
+        """)
+        assert sim.regs[8] == prog.symbol("buf")
+
+    def test_labels_and_branches(self):
+        sim, _ = run_asm("""
+            set 5, %o0
+            clr %o1
+        loop:
+            add %o1, %o0, %o1
+            subcc %o0, 1, %o0
+            bne loop
+            nop
+            halt
+        """)
+        assert sim.regs[9] == 5 + 4 + 3 + 2 + 1
+
+    def test_memory_load_store(self):
+        sim, prog = run_asm("""
+            set buf, %o0
+            set 123, %o1
+            st %o1, [%o0 + 4]
+            ld [%o0 + 4], %o2
+            halt
+            .data
+        buf: .space 16
+        """)
+        assert sim.regs[10] == 123
+        assert sim.mem.read32(prog.symbol("buf") + 4) == 123
+
+    def test_byte_halfword_access(self):
+        sim, _ = run_asm("""
+            set buf, %o0
+            set 0x1ff, %o1
+            stb %o1, [%o0]
+            ldub [%o0], %o2
+            set 0x12345, %o3
+            sth %o3, [%o0 + 4]
+            lduh [%o0 + 4], %o4
+            halt
+            .data
+        buf: .space 8
+        """)
+        assert sim.regs[10] == 0xFF
+        assert sim.regs[12] == 0x2345
+
+    def test_call_and_ret(self):
+        sim, _ = run_asm("""
+            set 7, %o0
+            call double
+            nop          ! delay slot
+            halt
+        double:
+            add %o0, %o0, %o0
+            ret
+            nop
+        """)
+        assert sim.regs[8] == 14
+
+    def test_data_words(self):
+        sim, prog = run_asm("""
+            set table, %o0
+            ld [%o0 + 8], %o1
+            halt
+            .data
+        table: .word 10, 20, 30
+        """)
+        assert sim.regs[9] == 30
+
+    def test_org_and_align(self):
+        prog = assemble("""
+            nop
+            .align 16
+        here:
+            halt
+        """)
+        assert prog.symbol("here") % 16 == 0
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("x: nop\nx: nop\n")
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(AssemblerError, match="undefined symbol"):
+            assemble("b nowhere\n")
+
+    def test_immediate_out_of_range(self):
+        with pytest.raises(AssemblerError, match="simm13"):
+            assemble("add %o0, 99999, %o0\n")
+
+    def test_comments(self):
+        sim, _ = run_asm("""
+            set 1, %o0   ! bang comment
+            set 2, %o1   # hash comment
+            set 3, %o2   ; semi comment
+            halt
+        """)
+        assert sim.regs[8:11] == [1, 2, 3]
+
+
+class TestDelaySlots:
+    def test_delay_slot_executes_on_taken_branch(self):
+        sim, _ = run_asm("""
+            clr %o0
+            b over
+            set 1, %o1    ! delay slot: executes
+            set 99, %o0   ! skipped
+        over:
+            halt
+        """)
+        assert sim.regs[9] == 1
+        assert sim.regs[8] == 0
+
+    def test_annulled_slot_skipped_on_untaken(self):
+        sim, _ = run_asm("""
+            set 1, %o0
+            cmp %o0, 1
+            bne,a nowhere
+            set 99, %o1   ! annulled: must NOT execute
+            halt
+        nowhere:
+            halt
+        """)
+        assert sim.regs[9] == 0
+
+    def test_non_annulled_slot_executes_on_untaken(self):
+        sim, _ = run_asm("""
+            set 1, %o0
+            cmp %o0, 1
+            bne nowhere
+            set 5, %o1    ! executes even though branch untaken
+            halt
+        nowhere:
+            halt
+        """)
+        assert sim.regs[9] == 5
+
+    def test_ba_annul_skips_slot(self):
+        sim, _ = run_asm("""
+            b,a over
+            set 99, %o0   ! annulled
+        over:
+            halt
+        """)
+        assert sim.regs[8] == 0
+
+
+class TestConditionCodes:
+    @pytest.mark.parametrize(
+        "a,b,branch,taken",
+        [
+            (1, 1, "be", True),
+            (1, 2, "be", False),
+            (1, 2, "bne", True),
+            (1, 2, "bl", True),
+            (2, 1, "bl", False),
+            (2, 1, "bg", True),
+            (1, 1, "bge", True),
+            (1, 1, "ble", True),
+            (0xFFFFFFFF, 1, "bgu", True),  # unsigned compare
+            (1, 0xFFFFFFFF, "blu" if False else "bcs", True),
+        ],
+    )
+    def test_signed_unsigned_branches(self, a, b, branch, taken):
+        sim, _ = run_asm(f"""
+            set {a}, %o0
+            set {b}, %o1
+            cmp %o0, %o1
+            {branch} yes
+            nop
+            set 0, %o2
+            halt
+        yes:
+            set 1, %o2
+            halt
+        """)
+        assert sim.regs[10] == (1 if taken else 0)
+
+    def test_overflow_flag(self):
+        sim, _ = run_asm("""
+            set 0x7fffffff, %o0
+            addcc %o0, 1, %o1
+            bvs yes
+            nop
+            set 0, %o2
+            halt
+        yes:
+            set 1, %o2
+            halt
+        """)
+        assert sim.regs[10] == 1
+
+
+class TestFunctionalSimMisc:
+    def test_g0_always_zero(self):
+        sim, _ = run_asm("""
+            set 42, %g0
+            add %g0, 0, %o0
+            halt
+        """)
+        assert sim.regs[0] == 0 and sim.regs[8] == 0
+
+    def test_umul_udiv(self):
+        sim, _ = run_asm("""
+            set 7, %o0
+            set 6, %o1
+            umul %o0, %o1, %o2
+            udiv %o2, %o0, %o3
+            halt
+        """)
+        assert sim.regs[10] == 42 and sim.regs[11] == 6
+
+    def test_shifts(self):
+        sim, _ = run_asm("""
+            set 1, %o0
+            sll %o0, 31, %o1
+            srl %o1, 31, %o2
+            sra %o1, 31, %o3
+            halt
+        """)
+        assert sim.regs[9] == 0x80000000
+        assert sim.regs[10] == 1
+        assert sim.regs[11] == 0xFFFFFFFF
+
+    def test_instret_counts(self):
+        sim, _ = run_asm("""
+            nop
+            nop
+            halt
+        """)
+        assert sim.instret == 3
+
+    def test_jmpl_indirect(self):
+        sim, prog = run_asm("""
+            set target, %o0
+            jmpl %o0, %g0
+            nop
+            set 99, %o1
+            halt
+        target:
+            set 5, %o1
+            halt
+        """)
+        assert sim.regs[9] == 5

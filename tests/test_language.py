@@ -1,0 +1,306 @@
+"""End-to-end tests of Facile language features through the full
+compile-and-run pipeline (both engines)."""
+
+import pytest
+
+from repro.facile import FastForwardEngine, PlainEngine, compile_source
+
+HEADER = "val init = 0;\n"
+
+
+def run_both(src, steps=6, init=0, externs=None, header=HEADER):
+    """Run `steps` simulator steps on both engines; returns both ctxs."""
+    result = compile_source(header + src)
+    sim = result.simulator
+    outs = []
+    for engine_cls in (FastForwardEngine, PlainEngine):
+        ctx = sim.make_context(dict(externs or {}))
+        ctx.write_global("init", init)
+        engine_cls(sim, ctx).run(max_steps=steps)
+        outs.append(ctx)
+    return outs
+
+
+def run_value(src, global_name, **kwargs):
+    memo, plain = run_both(src, **kwargs)
+    a = memo.read_global(global_name)
+    b = plain.read_global(global_name)
+    assert a == b, f"engines disagree on {global_name}: {a} vs {b}"
+    return a
+
+
+class TestArithmeticSemantics:
+    def test_division_truncates_like_c(self):
+        src = "val r = 0; fun main(pc) { r = (0 - 7) / 2; init = pc; }"
+        assert run_value(src, "r", steps=1) == -3
+
+    def test_modulo_sign(self):
+        src = "val r = 0; fun main(pc) { r = (0 - 7) % 3; init = pc; }"
+        assert run_value(src, "r", steps=1) == -1
+
+    def test_shift_operators(self):
+        src = "val r = 0; fun main(pc) { r = (1 << 10) >> 3; init = pc; }"
+        assert run_value(src, "r", steps=1) == 128
+
+    def test_u32_wrap(self):
+        src = "val r = 0; fun main(pc) { r = (0xFFFFFFFF + 1)?u32; init = pc; }"
+        assert run_value(src, "r", steps=1) == 0
+
+    def test_s32_reinterpret(self):
+        src = "val r = 0; fun main(pc) { r = (0xFFFFFFFF)?s32; init = pc; }"
+        assert run_value(src, "r", steps=1) == -1
+
+    def test_logical_ops_produce_01(self):
+        src = "val r = 0; fun main(pc) { r = (5 && 7) + (0 || 9) * 10; init = pc; }"
+        assert run_value(src, "r", steps=1) == 11
+
+
+class TestQueues:
+    def test_queue_fifo_roundtrip(self):
+        src = """
+        val r = 0;
+        fun main(pc) {
+            val q = queue();
+            q?push_back(1);
+            q?push_back(2);
+            q?push_front(3);
+            r = q?pop_front() * 100 + q?pop_front() * 10 + q?pop_front();
+            init = pc;
+        }
+        """
+        assert run_value(src, "r", steps=1) == 312
+
+    def test_queue_size_and_empty(self):
+        src = """
+        val r = 0;
+        fun main(pc) {
+            val q = queue();
+            val e0 = q?empty();
+            q?push_back(7);
+            q?push_back(8);
+            r = e0 * 100 + q?size() * 10 + q?empty();
+            init = pc;
+        }
+        """
+        assert run_value(src, "r", steps=1) == 120
+
+    def test_dynamic_queue_global(self):
+        """A queue holding dynamic values persists across steps and is
+        maintained correctly during replay."""
+        src = """
+        val q = queue();
+        val r = 0;
+        fun main(pc) {
+            q?push_back(mem_read(pc));
+            if (q?size() > 3) {
+                r = r + q?pop_front();
+            }
+            init = pc;
+        }
+        """
+        def setup(ctx):
+            ctx.mem.write32(0, 5)
+
+        result = compile_source(HEADER.replace("val init = 0;", "") + "val init = 0;" + src)
+        sim = result.simulator
+        values = []
+        for engine_cls in (FastForwardEngine, PlainEngine):
+            ctx = sim.make_context()
+            setup(ctx)
+            engine_cls(sim, ctx).run(max_steps=10)
+            values.append(ctx.read_global("r"))
+        assert values[0] == values[1] == 5 * 7  # pops on steps 3..9
+
+
+class TestArraysAndKeys:
+    def test_rt_static_array_local(self):
+        src = """
+        val r = 0;
+        fun main(pc) {
+            val a = array(5){3};
+            a[2] = a[2] + pc;
+            val i = 0;
+            val s = 0;
+            while (i < 5) { s = s + a[i]; i = i + 1; }
+            r = s;
+            init = pc;
+        }
+        """
+        assert run_value(src, "r", steps=1, init=10) == 3 * 5 + 10
+
+    def test_array_copy_is_independent(self):
+        src = """
+        val r = 0;
+        fun main(pc) {
+            val a = array(3){1};
+            val b = a?copy();
+            b[0] = 99;
+            r = a[0] * 100 + b[0];
+            init = pc;
+        }
+        """
+        assert run_value(src, "r", steps=1) == 199
+
+    def test_multi_parameter_key(self):
+        """main with several parameters: init holds a tuple key."""
+        src = """
+        val total = 0;
+        fun main(a, b) {
+            total = total + a * 10 + b;
+            init = (a + 1, b + 2);
+            if (a >= 3) halt();
+        }
+        """
+        result = compile_source("val init = 0;\n" + src)
+        sim = result.simulator
+        for engine_cls in (FastForwardEngine, PlainEngine):
+            ctx = sim.make_context()
+            ctx.write_global("init", (0, 0))
+            engine_cls(sim, ctx).run(max_steps=50)
+            # steps: (0,0) (1,2) (2,4) (3,6) -> halt
+            assert ctx.read_global("total") == 0 + 12 + 24 + 36
+
+    def test_array_in_key_replays(self):
+        """An rt-static array as a main parameter round-trips through
+        freeze/thaw and drives memoization."""
+        src = """
+        val sum = 0;
+        fun main(arr, n) {
+            val i = 0;
+            val s = 0;
+            while (i < 3) { s = s + arr[i]; i = i + 1; }
+            sum = sum + s;
+            arr[n % 3] = arr[n % 3] + 1;
+            if (n >= 5) halt();
+            init = (arr, n + 1);
+        }
+        """
+        result = compile_source("val init = 0;\n" + src)
+        sim = result.simulator
+        totals = []
+        for engine_cls in (FastForwardEngine, PlainEngine):
+            ctx = sim.make_context()
+            ctx.write_global("init", ((0, 0, 0), 0))
+            engine_cls(sim, ctx).run(max_steps=20)
+            totals.append(ctx.read_global("sum"))
+        assert totals[0] == totals[1]
+
+
+class TestControlFlow:
+    def test_do_while(self):
+        src = """
+        val r = 0;
+        fun main(pc) {
+            val i = 0;
+            do { r = r + 2; i = i + 1; } while (i < 4);
+            init = pc;
+        }
+        """
+        assert run_value(src, "r", steps=1) == 8
+
+    def test_for_loop(self):
+        src = """
+        val r = 0;
+        fun main(pc) {
+            for (val i = 0; i < 5; i = i + 1) { r = r + i; }
+            init = pc;
+        }
+        """
+        assert run_value(src, "r", steps=1) == 10
+
+    def test_nested_break_continue(self):
+        src = """
+        val r = 0;
+        fun main(pc) {
+            val i = 0;
+            while (i < 6) {
+                i = i + 1;
+                if (i == 2) { continue; }
+                if (i == 5) { break; }
+                r = r + i;
+            }
+            init = pc;
+        }
+        """
+        assert run_value(src, "r", steps=1) == 1 + 3 + 4
+
+    def test_compound_assignment(self):
+        src = """
+        val r = 0;
+        fun main(pc) {
+            val x = 10;
+            x += 5; x -= 2; x *= 3; x /= 2; x %= 12;
+            r = x;
+            init = pc;
+        }
+        """
+        assert run_value(src, "r", steps=1) == ((10 + 5 - 2) * 3 // 2) % 12
+
+    def test_dynamic_loop_bound(self):
+        """A loop whose trip count is dynamic unrolls into per-iteration
+        recorded paths and replays correctly when the count repeats."""
+        src = """
+        val r = 0;
+        fun main(pc) {
+            val n = mem_read(0);
+            val i = 0;
+            while (i < n) { i = i + 1; }
+            r = r + i;
+            init = pc;
+        }
+        """
+        result = compile_source(HEADER + src)
+        sim = result.simulator
+        ctx = sim.make_context()
+        ctx.mem.write32(0, 4)
+        engine = FastForwardEngine(sim, ctx)
+        engine.run(max_steps=3)
+        assert ctx.read_global("r") == 12
+        # Change the bound: replay must miss and recover correctly.
+        ctx.mem.write32(0, 2)
+        ctx.halted = False
+        engine.run(max_steps=2)
+        assert ctx.read_global("r") == 12 + 4
+        assert engine.cache.stats.misses_verify >= 1
+
+
+class TestFunctions:
+    def test_helper_functions_compose(self):
+        src = """
+        val r = 0;
+        fun square(x) { return x * x; }
+        fun sum_squares(n) {
+            val s = 0;
+            val i = 1;
+            while (i <= n) { s = s + square(i); i = i + 1; }
+            return s;
+        }
+        fun main(pc) { r = sum_squares(4); init = pc; }
+        """
+        assert run_value(src, "r", steps=1) == 1 + 4 + 9 + 16
+
+    def test_early_return_in_helper(self):
+        src = """
+        val r = 0;
+        fun clamp(x) {
+            if (x > 10) { return 10; }
+            if (x < 0) { return 0; }
+            return x;
+        }
+        fun main(pc) { r = clamp(15) * 100 + clamp(0 - 5) * 10 + clamp(7); init = pc; }
+        """
+        assert run_value(src, "r", steps=1) == 1007
+
+    def test_void_helper_with_side_effects(self):
+        src = """
+        val log = array(4){0};
+        val n = 0;
+        fun note(v) { log[n] = v; n = n + 1; }
+        fun main(pc) {
+            note(pc);
+            note(pc * 2);
+            init = pc;
+        }
+        """
+        memo, plain = run_both(src, steps=2, init=3)
+        assert list(memo.read_global("log")) == list(plain.read_global("log"))

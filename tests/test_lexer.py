@@ -1,0 +1,135 @@
+"""Unit tests for the Facile tokenizer."""
+
+import pytest
+
+from repro.facile.lexer import TokKind, tokenize
+from repro.facile.source import LexError, SourceBuffer
+
+
+def toks(text):
+    return tokenize(SourceBuffer(text))
+
+
+def kinds(text):
+    return [t.kind for t in toks(text)[:-1]]
+
+
+def texts(text):
+    return [t.text for t in toks(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        result = toks("")
+        assert len(result) == 1
+        assert result[0].kind is TokKind.EOF
+
+    def test_identifier(self):
+        (tok,) = toks("foo_bar9")[:-1]
+        assert tok.kind is TokKind.IDENT
+        assert tok.text == "foo_bar9"
+
+    def test_keywords_are_distinguished(self):
+        assert kinds("token pat sem val fun if while") == [TokKind.KEYWORD] * 7
+
+    def test_ident_starting_with_keyword_prefix(self):
+        (tok,) = toks("tokenize")[:-1]
+        assert tok.kind is TokKind.IDENT
+
+    def test_decimal_int(self):
+        (tok,) = toks("1234")[:-1]
+        assert tok.kind is TokKind.INT
+        assert tok.value == 1234
+
+    def test_hex_int(self):
+        (tok,) = toks("0x5b000")[:-1]
+        assert tok.value == 0x5B000
+
+    def test_hex_uppercase_prefix(self):
+        (tok,) = toks("0XFF")[:-1]
+        assert tok.value == 255
+
+    def test_zero(self):
+        (tok,) = toks("0")[:-1]
+        assert tok.value == 0
+
+    def test_string_literal(self):
+        (tok,) = toks('"hello"')[:-1]
+        assert tok.kind is TokKind.STRING
+        assert tok.value == "hello"
+
+    def test_string_escapes(self):
+        (tok,) = toks(r'"a\nb\t\"q\""')[:-1]
+        assert tok.value == 'a\nb\t"q"'
+
+
+class TestOperators:
+    def test_multichar_operators_maximal_munch(self):
+        assert texts("a <<= b") == ["a", "<<=", "b"]
+        assert texts("a << b") == ["a", "<<", "b"]
+        assert texts("a <= b") == ["a", "<=", "b"]
+        assert texts("a < b") == ["a", "<", "b"]
+
+    def test_logical_operators(self):
+        assert texts("a && b || !c") == ["a", "&&", "b", "||", "!", "c"]
+
+    def test_question_mark_attribute_sigil(self):
+        assert texts("imm?sext(32)") == ["imm", "?", "sext", "(", "32", ")"]
+
+    def test_all_compound_assignments(self):
+        for op in ["+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="]:
+            assert texts(f"x {op} 1") == ["x", op, "1"]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("a // comment\nb") == ["a", "b"]
+
+    def test_line_comment_at_eof(self):
+        assert texts("a // no newline") == ["a"]
+
+    def test_block_comment(self):
+        assert texts("a /* stuff\nmore */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError, match="unterminated"):
+            toks("a /* oops")
+
+
+class TestErrorsAndSpans:
+    def test_stray_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            toks("a @ b")
+
+    def test_number_followed_by_letter(self):
+        with pytest.raises(LexError):
+            toks("12abc")
+
+    def test_hex_without_digits(self):
+        with pytest.raises(LexError, match="no digits"):
+            toks("0x;")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated string"):
+            toks('"abc')
+
+    def test_span_line_and_column(self):
+        result = toks("a\n  b")
+        b = result[1]
+        assert (b.span.line, b.span.column) == (2, 3)
+
+    def test_error_message_carries_location(self):
+        with pytest.raises(LexError, match=":2:"):
+            toks("ok\n   @")
+
+
+class TestPaperExamples:
+    def test_figure4_token_decl_tokenizes(self):
+        text = "token instruction[32] fields op 24:31, rl 19:23;"
+        result = texts(text)
+        assert result[0] == "token"
+        assert "24" in result and ":" in result
+
+    def test_figure4_pattern(self):
+        result = texts("pat add = op==0x00 && (i==1 || fill==0);")
+        assert "==" in result and "&&" in result and "||" in result

@@ -1,0 +1,276 @@
+"""Tests for the minic compiler (workload substrate)."""
+
+import pytest
+
+from repro.isa.funcsim import FunctionalSim
+from repro.workloads.minic import MinicError, compile_minic, read_out_buffer
+
+
+def run(src, max_steps=5_000_000):
+    program = compile_minic(src)
+    sim = FunctionalSim.for_program(program)
+    sim.run(max_steps)
+    assert sim.halted, "program did not halt"
+    return read_out_buffer(sim.mem), sim
+
+
+def outs(src):
+    return run(src)[0]
+
+
+def expr_val(expr):
+    return outs(f"int main() {{ out({expr}); return 0; }}")[0]
+
+
+class TestExpressions:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("1 + 2 * 3", 7),
+            ("(1 + 2) * 3", 9),
+            ("10 - 3 - 2", 5),
+            ("100 / 7", 14),
+            ("100 % 7", 2),
+            ("5 < 6", 1),
+            ("6 < 5", 0),
+            ("5 == 5", 1),
+            ("5 != 5", 0),
+            ("3 <= 3", 1),
+            ("4 >= 5", 0),
+            ("1 && 2", 1),
+            ("0 && 1", 0),
+            ("0 || 0", 0),
+            ("0 || 7", 1),
+            ("!0", 1),
+            ("!9", 0),
+            ("-5 + 10", 5),
+            ("6 & 3", 2),
+            ("6 | 3", 7),
+            ("6 ^ 3", 5),
+            ("1 << 10", 1024),
+            ("1024 >> 3", 128),
+            ("2 + 3 << 1", 10),  # shift binds looser than +
+        ],
+    )
+    def test_expression_values(self, expr, expected):
+        assert expr_val(expr) == expected
+
+    def test_signed_comparison(self):
+        # -1 < 1 must hold under signed semantics.
+        assert outs("int main() { int a = 0 - 1; out(a < 1); return 0; }") == [1]
+
+
+class TestStatements:
+    def test_locals_and_assignment(self):
+        assert outs("int main() { int x = 3; x = x + 4; out(x); return 0; }") == [7]
+
+    def test_globals(self):
+        assert outs("int g = 41; int main() { g = g + 1; out(g); return 0; }") == [42]
+
+    def test_global_array_init_list(self):
+        src = "int t[4] = {10, 20, 30}; int main() { out(t[0]+t[1]+t[2]+t[3]); return 0; }"
+        assert outs(src) == [60]
+
+    def test_if_else_chains(self):
+        src = """
+        int classify(int x) {
+            if (x < 10) { return 1; }
+            else if (x < 100) { return 2; }
+            else { return 3; }
+        }
+        int main() { out(classify(5)); out(classify(50)); out(classify(500)); return 0; }
+        """
+        assert outs(src) == [1, 2, 3]
+
+    def test_while(self):
+        src = "int main() { int i = 0; int s = 0; while (i < 10) { s = s + i; i = i + 1; } out(s); return 0; }"
+        assert outs(src) == [45]
+
+    def test_for(self):
+        src = "int main() { int s = 0; int i; for (i = 1; i <= 5; i = i + 1) { s = s * 10 + i; } out(s); return 0; }"
+        assert outs(src) == [12345]
+
+    def test_nested_loops(self):
+        src = """
+        int main() {
+            int total = 0;
+            int i;
+            for (i = 0; i < 4; i = i + 1) {
+                int j;
+                for (j = 0; j < 4; j = j + 1) {
+                    if (i == j) { total = total + 1; }
+                }
+            }
+            out(total);
+            return 0;
+        }
+        """
+        assert outs(src) == [4]
+
+    def test_break(self):
+        src = """
+        int main() {
+            int i;
+            int s = 0;
+            for (i = 0; i < 100; i = i + 1) {
+                if (i == 5) { break; }
+                s = s + i;
+            }
+            out(s); out(i);
+            return 0;
+        }
+        """
+        assert outs(src) == [10, 5]
+
+    def test_continue_in_for_runs_step(self):
+        src = """
+        int main() {
+            int i;
+            int s = 0;
+            for (i = 0; i < 6; i = i + 1) {
+                if (i % 2 == 0) { continue; }
+                s = s + i;
+            }
+            out(s);
+            return 0;
+        }
+        """
+        assert outs(src) == [1 + 3 + 5]
+
+    def test_continue_in_while(self):
+        src = """
+        int main() {
+            int i = 0;
+            int s = 0;
+            while (i < 8) {
+                i = i + 1;
+                if (i == 3) { continue; }
+                s = s + i;
+            }
+            out(s);
+            return 0;
+        }
+        """
+        assert outs(src) == [sum(range(1, 9)) - 3]
+
+    def test_break_targets_innermost_loop(self):
+        src = """
+        int main() {
+            int total = 0;
+            int i;
+            for (i = 0; i < 3; i = i + 1) {
+                int j;
+                for (j = 0; j < 10; j = j + 1) {
+                    if (j == 2) { break; }
+                    total = total + 1;
+                }
+            }
+            out(total);
+            return 0;
+        }
+        """
+        assert outs(src) == [6]
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(MinicError, match="break outside"):
+            compile_minic("int main() { break; return 0; }")
+
+    def test_continue_outside_loop_rejected(self):
+        with pytest.raises(MinicError, match="continue outside"):
+            compile_minic("int main() { continue; return 0; }")
+
+    def test_array_read_write(self):
+        src = """
+        int a[8];
+        int main() {
+            int i;
+            for (i = 0; i < 8; i = i + 1) { a[i] = i * i; }
+            out(a[3] + a[7]);
+            return 0;
+        }
+        """
+        assert outs(src) == [9 + 49]
+
+
+class TestFunctions:
+    def test_call_with_args(self):
+        src = "int add3(int a, int b, int c) { return a + b + c; } int main() { out(add3(1, 2, 3)); return 0; }"
+        assert outs(src) == [6]
+
+    def test_recursion(self):
+        src = """
+        int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+        int main() { out(fact(7)); return 0; }
+        """
+        assert outs(src) == [5040]
+
+    def test_mutual_recursion(self):
+        src = """
+        int is_odd(int n);
+        int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+        int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }
+        int main() { out(is_even(10)); out(is_odd(7)); return 0; }
+        """
+        # Forward declarations are not supported; declare via definition order.
+        src = """
+        int is_even(int n) {
+            int r = 1;
+            while (n > 0) { n = n - 1; r = 1 - r; }
+            return r;
+        }
+        int main() { out(is_even(10)); out(is_even(7)); return 0; }
+        """
+        assert outs(src) == [1, 0]
+
+    def test_six_arguments(self):
+        src = (
+            "int f(int a, int b, int c, int d, int e, int g)"
+            " { return a + b * 10 + c * 100 + d * 1000 + e * 10000 + g * 100000; }"
+            "int main() { out(f(1, 2, 3, 4, 5, 6)); return 0; }"
+        )
+        assert outs(src) == [654321]
+
+    def test_call_preserves_caller_stack_values(self):
+        # The caller's pushed operand must survive a nested call.
+        src = """
+        int id(int x) { return x; }
+        int main() { out(100 + id(23)); return 0; }
+        """
+        assert outs(src) == [123]
+
+    def test_deep_call_chain(self):
+        src = """
+        int f0(int x) { return x + 1; }
+        int f1(int x) { return f0(x) + 1; }
+        int f2(int x) { return f1(x) + 1; }
+        int f3(int x) { return f2(x) + 1; }
+        int main() { out(f3(0)); return 0; }
+        """
+        assert outs(src) == [4]
+
+
+class TestErrors:
+    def test_undefined_variable(self):
+        with pytest.raises(MinicError, match="undefined variable"):
+            compile_minic("int main() { out(nope); return 0; }")
+
+    def test_undefined_function(self):
+        with pytest.raises(MinicError, match="undefined function"):
+            compile_minic("int main() { nope(); return 0; }")
+
+    def test_wrong_arity(self):
+        with pytest.raises(MinicError, match="arity"):
+            compile_minic("int f(int a) { return a; } int main() { f(1, 2); return 0; }")
+
+    def test_missing_main(self):
+        with pytest.raises(MinicError, match="main"):
+            compile_minic("int f() { return 0; }")
+
+    def test_too_many_params(self):
+        params = ", ".join(f"int p{i}" for i in range(7))
+        with pytest.raises(MinicError, match="too many"):
+            compile_minic(f"int f({params}) {{ return 0; }} int main() {{ return 0; }}")
+
+    def test_bad_character(self):
+        with pytest.raises(MinicError, match="bad character"):
+            compile_minic("int main() { out(@); }")

@@ -1,0 +1,237 @@
+"""Unit tests for the Facile parser."""
+
+import pytest
+
+from repro.facile import ParseError
+from repro.facile import parser as P
+from repro.facile import ast_nodes as A
+
+
+def parse(text):
+    return P.parse(text)
+
+
+def parse_expr(text):
+    prog = P.parse(f"fun f() {{ val x = {text}; }}")
+    stmt = prog.functions()["f"].body.stmts[0]
+    assert isinstance(stmt, A.ValStmt)
+    return stmt.init
+
+
+def parse_stmt(text):
+    prog = P.parse(f"fun f() {{ {text} }}")
+    return prog.functions()["f"].body.stmts[0]
+
+
+class TestDeclarations:
+    def test_token_decl(self):
+        prog = parse("token instruction[32] fields op 24:31, imm 0:12;")
+        decl = prog.decls[0]
+        assert isinstance(decl, A.TokenDecl)
+        assert decl.width == 32
+        assert [f.name for f in decl.fields] == ["op", "imm"]
+        assert decl.fields[0].width == 8
+
+    def test_token_field_bounds_checked(self):
+        with pytest.raises(ParseError, match="exceeds token width"):
+            parse("token t[16] fields op 8:16;")
+        with pytest.raises(ParseError, match="lo > hi"):
+            parse("token t[16] fields op 9:8;")
+
+    def test_pat_decl_dnf_operators(self):
+        prog = parse(
+            "token t[32] fields op 24:31, i 13:13, fill 5:12;"
+            "pat add = op==0x00 && (i==1 || fill==0);"
+        )
+        decl = prog.decls[1]
+        assert isinstance(decl, A.PatDecl)
+        assert isinstance(decl.expr, A.PatAnd)
+        assert isinstance(decl.expr.right, A.PatOr)
+
+    def test_pat_ref(self):
+        prog = parse(
+            "token t[32] fields op 24:31;"
+            "pat base = op==1; pat both = base || op==2;"
+        )
+        both = prog.decls[2]
+        assert isinstance(both.expr.left, A.PatRef)
+
+    def test_global_val_with_type(self):
+        prog = parse("val PC : stream;")
+        decl = prog.decls[0]
+        assert decl.type_name == "stream"
+        assert decl.init is None
+
+    def test_global_val_with_init(self):
+        prog = parse("val R = array(32){0};")
+        assert isinstance(prog.decls[0].init, A.ArrayNew)
+
+    def test_fun_decl_params(self):
+        prog = parse("fun main(pc, iq) { }")
+        assert prog.functions()["main"].params == ["pc", "iq"]
+
+    def test_extern_decl(self):
+        prog = parse("extern cache_access(3);")
+        decl = prog.decls[0]
+        assert isinstance(decl, A.ExternDecl)
+        assert decl.arity == 3
+
+    def test_sem_decl(self):
+        prog = parse(
+            "token t[32] fields op 24:31; pat add = op==0;"
+            "sem add { };"
+        )
+        assert isinstance(prog.decls[2], A.SemDecl)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert isinstance(e, A.Binary) and e.op == "+"
+        assert isinstance(e.right, A.Binary) and e.right.op == "*"
+
+    def test_precedence_shift_vs_compare(self):
+        e = parse_expr("a << 2 < b")
+        assert e.op == "<"
+        assert e.left.op == "<<"
+
+    def test_precedence_logical(self):
+        e = parse_expr("a && b || c && d")
+        assert e.op == "||"
+        assert e.left.op == "&&" and e.right.op == "&&"
+
+    def test_left_associativity(self):
+        e = parse_expr("a - b - c")
+        assert e.op == "-" and e.left.op == "-"
+        assert e.left.right.ident == "b"
+
+    def test_unary_chain(self):
+        e = parse_expr("-~!x")
+        assert e.op == "-" and e.operand.op == "~" and e.operand.operand.op == "!"
+
+    def test_attr_with_args(self):
+        e = parse_expr("imm?sext(32)")
+        assert isinstance(e, A.Attr)
+        assert e.name == "sext"
+        assert isinstance(e.args[0], A.IntLit)
+
+    def test_attr_without_parens(self):
+        e = parse_expr("x?verify")
+        assert isinstance(e, A.Attr) and not e.has_parens
+
+    def test_attr_chains(self):
+        e = parse_expr("x?zext(8)?sext(16)")
+        assert e.name == "sext"
+        assert e.base.name == "zext"
+
+    def test_index_chain(self):
+        e = parse_expr("a[i][j]")
+        assert isinstance(e, A.Index) and isinstance(e.base, A.Index)
+
+    def test_call(self):
+        e = parse_expr("min(a, b)")
+        assert isinstance(e, A.Call) and len(e.args) == 2
+
+    def test_tuple_literal(self):
+        e = parse_expr("(a, b, 3)")
+        assert isinstance(e, A.TupleLit) and len(e.items) == 3
+
+    def test_parenthesized_is_not_tuple(self):
+        e = parse_expr("(a)")
+        assert isinstance(e, A.Name)
+
+    def test_array_new(self):
+        e = parse_expr("array(8){42}")
+        assert isinstance(e, A.ArrayNew)
+        assert e.size.value == 8 and e.init.value == 42
+
+    def test_queue_new(self):
+        assert isinstance(parse_expr("queue()"), A.QueueNew)
+
+    def test_bool_literals(self):
+        assert parse_expr("true").value is True
+        assert parse_expr("false").value is False
+
+
+class TestStatements:
+    def test_if_else(self):
+        s = parse_stmt("if (x) y = 1; else y = 2;")
+        assert isinstance(s, A.If) and s.else_body is not None
+
+    def test_dangling_else_binds_inner(self):
+        s = parse_stmt("if (a) if (b) x = 1; else x = 2;")
+        assert s.else_body is None
+        assert s.then_body.else_body is not None
+
+    def test_while(self):
+        s = parse_stmt("while (x < 10) x = x + 1;")
+        assert isinstance(s, A.While)
+
+    def test_do_while(self):
+        s = parse_stmt("do { x = x + 1; } while (x < 10);")
+        assert isinstance(s, A.DoWhile)
+
+    def test_for(self):
+        s = parse_stmt("for (val i = 0; i < 8; i = i + 1) { }")
+        assert isinstance(s, A.For)
+        assert isinstance(s.init, A.ValStmt)
+
+    def test_compound_assignment(self):
+        s = parse_stmt("x += 2;")
+        assert isinstance(s, A.Assign) and s.op == "+="
+
+    def test_assignment_to_index(self):
+        s = parse_stmt("R[rl] = 0;")
+        assert isinstance(s.target, A.Index)
+
+    def test_assignment_target_must_be_lvalue(self):
+        with pytest.raises(ParseError, match="assignment target"):
+            parse_stmt("x + 1 = 2;")
+
+    def test_switch_with_pat_and_default(self):
+        prog = parse(
+            "token t[32] fields op 24:31; pat add = op==0;"
+            "fun f(pc) { switch (pc) { pat add: x(); default: y(); } }"
+        )
+        sw = prog.functions()["f"].body.stmts[0]
+        assert isinstance(sw, A.Switch)
+        assert [c.kind for c in sw.cases] == ["pat", "default"]
+
+    def test_switch_case_multiple_values(self):
+        s = parse_stmt("switch (x) { case 1, 2: y = 1; case 3: y = 2; }")
+        assert len(s.cases[0].values) == 2
+
+    def test_break_continue_return(self):
+        s = parse_stmt("while (1) { break; }")
+        assert isinstance(s.body.stmts[0], A.Break)
+        s = parse_stmt("while (1) { continue; }")
+        assert isinstance(s.body.stmts[0], A.Continue)
+        s = parse_stmt("return x + 1;")
+        assert isinstance(s, A.Return) and s.value is not None
+
+    def test_missing_semicolon_is_error(self):
+        with pytest.raises(ParseError):
+            parse_stmt("x = 1")
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError, match="expected"):
+            parse("fun f( { }")
+
+
+class TestPaperFigures:
+    def test_figure4_full(self):
+        prog = parse(
+            "token instruction[32] fields op 24:31, rl 19:23, r2 14:18,"
+            " r3 0:4, i 13:13, imm 0:12, offset 0:18, fill 5:12;"
+            "pat add = op==0x00 && (i==1 || fill==0);"
+            "pat bz = op==0x01;"
+        )
+        assert len(prog.decls) == 3
+
+    def test_figure6_main(self):
+        prog = parse(
+            "val PC : stream; val nPC : stream; val init : stream;"
+            "fun main(pc) { PC = pc; nPC = PC + 4; PC?exec(); init = nPC; }"
+        )
+        main = prog.functions()["main"]
+        assert len(main.body.stmts) == 4

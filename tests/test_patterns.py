@@ -1,0 +1,154 @@
+"""Unit and property tests for pattern normalization and decoder generation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.facile import SemanticError
+from repro.facile.parser import parse
+from repro.facile.patterns import (
+    build_pattern_table,
+    choose_dispatch_field,
+    compile_decoder,
+    generate_decoder_source,
+)
+
+HEADER = (
+    "token instruction[32] fields op 24:31, rl 19:23, r2 14:18,"
+    " r3 0:4, i 13:13, imm 0:12, offset 0:18, fill 5:12;"
+)
+
+
+def table_for(pat_decls: str):
+    return build_pattern_table(parse(HEADER + pat_decls))
+
+
+class TestFieldInfo:
+    def test_extract(self):
+        table = table_for("pat p = op==1;")
+        op = table.fields["op"]
+        assert op.extract(0xAB000000) == 0xAB
+        assert op.width == 8
+        assert op.mask == 0xFF
+
+    def test_extract_src_low_field(self):
+        table = table_for("pat p = op==1;")
+        imm = table.fields["imm"]
+        assert imm.extract_src("w") == "(w & 0x1fff)"
+
+
+class TestNormalization:
+    def test_simple_equality(self):
+        table = table_for("pat add = op==0;")
+        assert len(table.patterns[0].conjuncts) == 1
+
+    def test_or_gives_two_conjuncts(self):
+        table = table_for("pat p = op==0 || op==1;")
+        assert len(table.patterns[0].conjuncts) == 2
+
+    def test_and_over_or_distributes(self):
+        table = table_for("pat p = op==0 && (i==1 || fill==0);")
+        assert len(table.patterns[0].conjuncts) == 2
+        assert all(len(c) == 2 for c in table.patterns[0].conjuncts)
+
+    def test_pattern_reference_inlines(self):
+        table = table_for("pat base = op==3; pat ext = base && i==1;")
+        ext = table.by_name["ext"]
+        assert len(ext.conjuncts) == 1
+        assert {c.fld.name for c in ext.conjuncts[0]} == {"op", "i"}
+
+    def test_unsatisfiable_conjunct_pruned(self):
+        table = table_for("pat p = (op==1 && op==2) || op==3;")
+        assert len(table.patterns[0].conjuncts) == 1
+
+    def test_fully_unsatisfiable_pattern_rejected(self):
+        with pytest.raises(SemanticError, match="unsatisfiable"):
+            table_for("pat p = op==1 && op==2;")
+
+    def test_range_contradiction_detected(self):
+        with pytest.raises(SemanticError, match="unsatisfiable"):
+            table_for("pat p = op>=10 && op<5;")
+
+    def test_ne_excluding_pinned_value(self):
+        with pytest.raises(SemanticError, match="unsatisfiable"):
+            table_for("pat p = op==5 && op!=5;")
+
+    def test_value_too_wide_for_field(self):
+        with pytest.raises(SemanticError, match="does not fit"):
+            table_for("pat p = i==2;")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SemanticError, match="unknown field"):
+            table_for("pat p = nosuch==1;")
+
+    def test_duplicate_pattern_rejected(self):
+        with pytest.raises(SemanticError, match="duplicate pattern"):
+            table_for("pat p = op==1; pat p = op==2;")
+
+
+class TestReferenceDecode:
+    def test_first_match_wins(self):
+        table = table_for("pat a = op==1; pat b = op==1 && i==1;")
+        word = (1 << 24) | (1 << 13)
+        assert table.decode(word) == 0  # 'a' declared first
+
+    def test_no_match(self):
+        table = table_for("pat a = op==1;")
+        assert table.decode(0xFF000000) == -1
+
+    def test_relational_constraints(self):
+        table = table_for("pat small = op<16; pat big = op>=16;")
+        assert table.decode(5 << 24) == 0
+        assert table.decode(200 << 24) == 1
+
+
+class TestGeneratedDecoder:
+    def test_dispatch_field_chosen_for_opcode_style(self):
+        table = table_for("pat a = op==1; pat b = op==2; pat c = op==3;")
+        assert choose_dispatch_field(table).name == "op"
+
+    def test_no_dispatch_for_single_pattern(self):
+        table = table_for("pat a = op==1;")
+        assert choose_dispatch_field(table) is None
+
+    def test_generated_matches_reference(self):
+        table = table_for(
+            "pat add = op==0 && (i==1 || fill==0);"
+            "pat bz = op==1;"
+            "pat wide = op>=128;"
+        )
+        decode, _ = compile_decoder(table)
+        for word in [0, 1 << 13, 1 << 24, 0x80000000, 0xFFFFFFFF, (1 << 24) | 5]:
+            assert decode(word) == table.decode(word), hex(word)
+
+    def test_source_is_valid_python(self):
+        table = table_for("pat a = op==1; pat b = op==2;")
+        src = generate_decoder_source(table)
+        compile(src, "<t>", "exec")
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_property_generated_equals_reference(self, word):
+        table = table_for(
+            "pat add = op==0 && (i==1 || fill==0);"
+            "pat bz = op==1;"
+            "pat neq = op==2 && imm!=0;"
+            "pat rng = op>=3 && op<=9;"
+            "pat mix = bz || (op==10 && i==1);"
+        )
+        decode, _ = compile_decoder(table)
+        assert decode(word) == table.decode(word)
+
+
+class TestMultiToken:
+    def test_mixed_token_pattern_rejected(self):
+        src = (
+            "token a[16] fields x 0:7;"
+            "token b[16] fields y 8:15;"
+            "pat bad = x==1 && y==2;"
+        )
+        with pytest.raises(SemanticError, match="mixes fields"):
+            build_pattern_table(parse(src))
+
+    def test_duplicate_field_across_tokens_rejected(self):
+        src = "token a[16] fields x 0:7; token b[16] fields x 0:7;"
+        with pytest.raises(SemanticError, match="duplicate field"):
+            build_pattern_table(parse(src))

@@ -1,0 +1,123 @@
+"""Round-trip tests for the Facile pretty-printer."""
+
+import pytest
+
+from repro.facile import ast_nodes as A
+from repro.facile.parser import parse
+from repro.facile.pprint import format_expr, format_program, format_stmt
+from repro.isa.facile_src import functional_sim_source
+from repro.ooo.facile_ooo import ooo_sim_source
+
+from .toyisa import TOY_SOURCE
+
+
+def strip_spans(node):
+    """Structural fingerprint of an AST, ignoring source positions and
+    single-statement block wrappers (the printer braces all bodies,
+    which is semantically transparent)."""
+    if isinstance(node, A.Block) and len(node.stmts) == 1:
+        return strip_spans(node.stmts[0])
+    if isinstance(node, A.Node):
+        fields = {
+            k: strip_spans(v)
+            for k, v in vars(node).items()
+            if k != "span"
+        }
+        return (type(node).__name__, tuple(sorted(fields.items())))
+    if isinstance(node, list):
+        return tuple(strip_spans(v) for v in node)
+    return node
+
+
+def roundtrip(src: str) -> None:
+    first = parse(src)
+    printed = format_program(first)
+    second = parse(printed)
+    assert strip_spans(first) == strip_spans(second), printed
+
+
+class TestRoundTrip:
+    def test_toy_simulator(self):
+        roundtrip(TOY_SOURCE)
+
+    def test_functional_simulator(self):
+        roundtrip(functional_sim_source())
+
+    def test_ooo_simulator(self):
+        roundtrip(ooo_sim_source())
+
+    def test_all_statement_forms(self):
+        roundtrip(
+            """
+            val g = 0;
+            val init = 0;
+            extern probe(1);
+            fun helper(x) { return x + 1; }
+            fun main(pc) {
+                val a : stream = pc;
+                val q = queue();
+                q?push_back(1);
+                a += 2;
+                if (a > 3) { g = 1; } else { g = 2; }
+                while (a < 10) { a = a + 1; if (a == 7) { break; } continue; }
+                do { a = a - 1; } while (a > 5);
+                for (val i = 0; i < 4; i = i + 1) { g = g + i; }
+                switch (a) {
+                    case 1, 2: g = 10;
+                    default: g = helper(probe(a));
+                }
+                init = (a, g);
+                return;
+            }
+            """
+        )
+
+    def test_precedence_preserved(self):
+        roundtrip(
+            "val init = 0;"
+            "fun main(pc) {"
+            "  init = (pc + 1) * 2 - pc * (3 + 4) / (pc - 1 | 2) % 5;"
+            "  init = -(pc + 1)?sext(8) + !pc * ~pc;"
+            "  init = (1 << pc) >> (pc & 3 ^ 2);"
+            "  init = pc < 1 == (pc > 2) != (pc <= 3);"
+            "}"
+        )
+
+
+class TestExprFormatting:
+    @pytest.mark.parametrize(
+        "src,expected",
+        [
+            ("1 + 2 * 3", "1 + 2 * 3"),
+            ("(1 + 2) * 3", "(1 + 2) * 3"),
+            ("a - b - c", "a - b - c"),
+            ("a - (b - c)", "a - (b - c)"),
+            ("a?sext(8)", "a?sext(8)"),
+            ("x?verify", "x?verify"),
+            ("q?pop_front()", "q?pop_front()"),
+            ("a[i][j]", "a[i][j]"),
+            ("min(a, b)", "min(a, b)"),
+        ],
+    )
+    def test_formats(self, src, expected):
+        prog = parse(f"fun f(a, b, c, i, j, q, x) {{ val y = {src}; }}")
+        stmt = prog.functions()["f"].body.stmts[0]
+        assert format_expr(stmt.init) == expected
+
+
+class TestStmtFormatting:
+    def test_if_renders_braces(self):
+        prog = parse("fun f(x) { if (x) x = 1; else x = 2; }")
+        text = format_stmt(prog.functions()["f"].body.stmts[0])
+        assert text.startswith("if (x)")
+        assert "else" in text
+
+    def test_flattened_body_printable(self):
+        """The printer must handle compiler-internal (flattened) trees."""
+        from repro.facile.inline import flatten_program
+        from repro.facile.sema import analyze
+
+        info = analyze(parse(TOY_SOURCE))
+        flat = flatten_program(info)
+        text = format_stmt(flat.body)
+        assert "while" in text or "if" in text

@@ -1,0 +1,154 @@
+"""Compiler fuzzing: random Facile step functions must behave
+identically under the fast-forwarding and plain engines.
+
+The generator builds structurally random (but always terminating)
+simulator bodies mixing rt-static locals, dynamic globals, dynamic
+arrays, target memory, rt-static and dynamic control flow — precisely
+the combinations binding-time analysis and action extraction must get
+right.  Each program runs several steps with a cycling key so entries
+are recorded, replayed, and forced through verify misses.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.facile import FastForwardEngine, PlainEngine, compile_source
+
+_BINOPS = ["+", "-", "*", "&", "|", "^"]
+_CMPS = ["==", "!=", "<", "<=", ">", ">="]
+
+
+@st.composite
+def _expr(draw, names: list[str], depth: int = 0):
+    """A pure expression over the given readable names."""
+    choices = ["lit", "name"]
+    if depth < 3:
+        choices += ["bin", "bin", "cmp", "attr", "select"]
+    kind = draw(st.sampled_from(choices))
+    if kind == "lit" or not names:
+        return str(draw(st.integers(min_value=0, max_value=255)))
+    if kind == "name":
+        return draw(st.sampled_from(names))
+    if kind == "bin":
+        op = draw(st.sampled_from(_BINOPS))
+        left = draw(_expr(names, depth + 1))
+        right = draw(_expr(names, depth + 1))
+        return f"({left} {op} {right})"
+    if kind == "cmp":
+        op = draw(st.sampled_from(_CMPS))
+        left = draw(_expr(names, depth + 1))
+        right = draw(_expr(names, depth + 1))
+        return f"({left} {op} {right})"
+    if kind == "select":
+        c = draw(_expr(names, depth + 1))
+        a = draw(_expr(names, depth + 1))
+        b = draw(_expr(names, depth + 1))
+        return f"select({c}, {a}, {b})"
+    # attr
+    base = draw(_expr(names, depth + 1))
+    attr = draw(st.sampled_from(["?u32", "?s32", "?zext(8)", "?sext(8)", "?bit(3)"]))
+    return f"({base}){attr}"
+
+
+@st.composite
+def _stmts(draw, rt_names: list[str], all_names: list[str], depth: int = 0):
+    """A list of statement lines.  rt_names are rt-static-only reads;
+    all_names adds the dynamic state (D, A[...], mem)."""
+    n = draw(st.integers(min_value=1, max_value=4 if depth else 6))
+    lines: list[str] = []
+    local_rt = list(rt_names)
+    local_all = list(all_names)
+    for _ in range(n):
+        kind = draw(
+            st.sampled_from(
+                ["rt_local", "dyn_write", "arr_write", "if_rt", "if_dyn", "loop_rt", "mem_write"]
+                if depth < 2
+                else ["rt_local", "dyn_write", "arr_write", "mem_write"]
+            )
+        )
+        if kind == "rt_local":
+            name = f"t{len(local_rt)}_{depth}_{draw(st.integers(0, 999))}"
+            lines.append(f"val {name} = {draw(_expr(local_rt))};")
+            local_rt.append(name)
+            local_all.append(name)
+        elif kind == "dyn_write":
+            lines.append(f"D = ({draw(_expr(local_all))})?u32;")
+        elif kind == "arr_write":
+            idx = draw(_expr(local_rt))
+            lines.append(f"A[({idx}) & 7] = ({draw(_expr(local_all))})?u32;")
+        elif kind == "mem_write":
+            addr = draw(_expr(local_rt))
+            lines.append(f"mem_write((({addr}) & 255) * 4 + 4096, {draw(_expr(local_all))});")
+        elif kind == "if_rt":
+            cond = draw(_expr(local_rt))
+            then = draw(_stmts(local_rt, local_all, depth + 1))
+            els = draw(_stmts(local_rt, local_all, depth + 1))
+            lines.append(f"if ({cond}) {{ {' '.join(then)} }} else {{ {' '.join(els)} }}")
+        elif kind == "if_dyn":
+            cond = draw(_expr(local_all))
+            then = draw(_stmts(local_rt, local_all, depth + 1))
+            lines.append(f"if ({cond}) {{ {' '.join(then)} }}")
+        else:  # loop_rt: bounded rt-static loop
+            bound = draw(st.integers(1, 4))
+            var = f"i{depth}_{draw(st.integers(0, 999))}"
+            body = draw(_stmts(local_rt + [var], local_all + [var], depth + 1))
+            lines.append(
+                f"val {var} = 0; while ({var} < {bound}) {{ "
+                f"{' '.join(body)} {var} = {var} + 1; }}"
+            )
+    return lines
+
+
+@st.composite
+def fuzz_programs(draw):
+    body = draw(_stmts(["pc"], ["pc", "D", "A[D & 7]", "mem_read(4096)"]))
+    return (
+        "val init = 0;\n"
+        "val D = 0;\n"
+        "val A = array(8){0};\n"
+        "fun main(pc) {\n"
+        + "\n".join(body)
+        + "\ninit = (pc + 1) % 3;\n}\n"
+    )
+
+
+def _run(sim, engine_cls, steps):
+    ctx = sim.make_context()
+    ctx.mem.write32(4096, 17)
+    ctx.write_global("init", 0)
+    engine_cls(sim, ctx).run(max_steps=steps)
+    return ctx
+
+
+class TestCompilerFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(fuzz_programs(), st.integers(min_value=3, max_value=12))
+    def test_memoized_equals_plain(self, source, steps):
+        result = compile_source(source, name="fuzz")
+        sim = result.simulator
+        memo = _run(sim, FastForwardEngine, steps)
+        plain = _run(sim, PlainEngine, steps)
+        assert memo.read_global("D") == plain.read_global("D")
+        assert memo.read_global("A") == plain.read_global("A")
+        for addr in range(4096, 4096 + 4 * 260, 4):
+            assert memo.mem.read32(addr) == plain.mem.read32(addr), hex(addr)
+
+    @settings(max_examples=30, deadline=None)
+    @given(fuzz_programs())
+    def test_folding_never_changes_behaviour(self, source):
+        folded = compile_source(source, name="fuzz-f", fold=True).simulator
+        unfolded = compile_source(source, name="fuzz-u", fold=False).simulator
+        a = _run(folded, FastForwardEngine, 9)
+        b = _run(unfolded, FastForwardEngine, 9)
+        assert a.read_global("D") == b.read_global("D")
+        assert a.read_global("A") == b.read_global("A")
+
+    @settings(max_examples=30, deadline=None)
+    @given(fuzz_programs())
+    def test_coalescing_never_changes_behaviour(self, source):
+        merged = compile_source(source, name="fuzz-c", coalesce=True).simulator
+        split = compile_source(source, name="fuzz-s", coalesce=False).simulator
+        a = _run(merged, FastForwardEngine, 9)
+        b = _run(split, FastForwardEngine, 9)
+        assert a.read_global("D") == b.read_global("D")
+        assert a.read_global("A") == b.read_global("A")

@@ -1,0 +1,111 @@
+"""Property-based tests: the memoized (fast-forwarding) engine must be
+observationally equivalent to the plain engine on arbitrary programs.
+
+This is the core correctness claim of the paper — FastSim "computes
+exactly the same simulated cycle counts" with and without memoization —
+exercised here over randomly generated toy-ISA programs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.facile import FastForwardEngine
+
+from .toyisa import (
+    HALT_WORD,
+    add_imm,
+    add_reg,
+    bz,
+    compile_toy,
+    countdown_program,
+    load_program,
+    run_memoized,
+    run_plain,
+)
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return compile_toy()
+
+
+# Straight-line-with-forward-branches programs always terminate.
+@st.composite
+def forward_programs(draw):
+    n = draw(st.integers(min_value=1, max_value=24))
+    words = []
+    for i in range(n):
+        kind = draw(st.sampled_from(["addi", "addr", "bz"]))
+        if kind == "addi":
+            words.append(
+                add_imm(
+                    draw(st.integers(1, 31)),
+                    draw(st.integers(0, 31)),
+                    draw(st.integers(0, 0x1FFF)),
+                )
+            )
+        elif kind == "addr":
+            words.append(
+                add_reg(
+                    draw(st.integers(1, 31)),
+                    draw(st.integers(0, 31)),
+                    draw(st.integers(0, 31)),
+                )
+            )
+        else:
+            remaining = n - i
+            skip = draw(st.integers(1, max(1, remaining)))
+            words.append(bz(draw(st.integers(0, 31)), 4 * skip))
+    words.append(HALT_WORD)
+    return words
+
+
+class TestEquivalenceProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(forward_programs())
+    def test_memoized_equals_plain(self, toy, program):
+        ctx_m, _, _ = run_memoized(toy.simulator, program)
+        ctx_p, _, _ = run_plain(toy.simulator, program)
+        assert ctx_m.halted and ctx_p.halted
+        assert list(ctx_m.read_global("R")) == list(ctx_p.read_global("R"))
+        assert ctx_m.retired_total == ctx_p.retired_total
+
+    @settings(max_examples=60, deadline=None)
+    @given(forward_programs())
+    def test_warm_cache_replay_equals_cold(self, toy, program):
+        """Running the same program twice over one shared action cache
+        must produce identical architectural state; the second run should
+        be (almost) entirely fast steps."""
+        ctx1, engine1, _ = run_memoized(toy.simulator, program)
+        ctx2 = toy.simulator.make_context()
+        load_program(ctx2, program)
+        engine2 = FastForwardEngine(toy.simulator, ctx2)
+        engine2.cache = engine1.cache
+        engine2.memoizer = type(engine1.memoizer)(engine1.cache)
+        stats2 = engine2.run(max_steps=10_000)
+        assert list(ctx1.read_global("R")) == list(ctx2.read_global("R"))
+        assert stats2.steps_slow == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=60))
+    def test_countdown_equivalence_all_lengths(self, toy, n):
+        ctx_m, _, _ = run_memoized(toy.simulator, countdown_program(n))
+        ctx_p, _, _ = run_plain(toy.simulator, countdown_program(n))
+        assert list(ctx_m.read_global("R")) == list(ctx_p.read_global("R"))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=40), st.integers(min_value=100, max_value=2000))
+    def test_cache_limit_never_changes_results(self, toy, n, limit):
+        ctx_small, engine, _ = run_memoized(
+            toy.simulator, countdown_program(n), cache_limit_bytes=limit
+        )
+        ctx_ref, _, _ = run_plain(toy.simulator, countdown_program(n))
+        assert list(ctx_small.read_global("R")) == list(ctx_ref.read_global("R"))
+        assert ctx_small.retired_total == ctx_ref.retired_total
+
+    @settings(max_examples=30, deadline=None)
+    @given(forward_programs())
+    def test_fast_fraction_bounded(self, toy, program):
+        _, engine, _ = run_memoized(toy.simulator, program)
+        fraction = engine.fast_forward_fraction()
+        assert 0.0 <= fraction <= 1.0

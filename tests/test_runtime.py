@@ -1,0 +1,283 @@
+"""Unit and property tests for the fast-forwarding runtime."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.facile.runtime import (
+    ActionCache,
+    ActionRecord,
+    EndRecord,
+    Memoizer,
+    Memory,
+    SimulationError,
+    VerifyRecord,
+    freeze,
+    thaw,
+    value_bytes,
+)
+
+
+# -- freeze / thaw -------------------------------------------------------------
+
+
+class TestFreezeThaw:
+    def test_freeze_list(self):
+        assert freeze([1, [2, 3]]) == (1, (2, 3))
+
+    def test_freeze_is_hashable(self):
+        hash(freeze([1, [2, [3, 4]], 5]))
+
+    def test_thaw_inverts_freeze_for_lists(self):
+        original = [1, [2, 3], [4, [5]]]
+        assert thaw(freeze(original)) == original
+
+    def test_scalars_pass_through(self):
+        assert freeze(7) == 7
+        assert thaw(7) == 7
+
+    nested = st.recursive(
+        st.integers(),
+        lambda children: st.lists(children, max_size=4),
+        max_leaves=16,
+    )
+
+    @given(nested)
+    def test_property_roundtrip(self, value):
+        assert thaw(freeze(value)) == value
+
+    @given(nested)
+    def test_property_frozen_hashable(self, value):
+        hash(freeze(value))
+
+
+class TestValueBytes:
+    def test_scalar(self):
+        assert value_bytes(5) == 8
+
+    def test_tuple_counts_elements(self):
+        assert value_bytes((1, 2, 3)) == 8 + 24
+
+    def test_nested(self):
+        assert value_bytes(((1, 2), 3)) == 8 + (8 + 16) + 8
+
+
+# -- memory ---------------------------------------------------------------------
+
+
+class TestMemory:
+    def test_read_default_zero(self):
+        assert Memory().read32(0x1234) == 0
+
+    def test_write_read_roundtrip(self):
+        m = Memory()
+        m.write32(0x1000, 0xDEADBEEF)
+        assert m.read32(0x1000) == 0xDEADBEEF
+
+    def test_little_endian_bytes(self):
+        m = Memory()
+        m.write32(0, 0x11223344)
+        assert [m.read8(i) for i in range(4)] == [0x44, 0x33, 0x22, 0x11]
+
+    def test_cross_page_access(self):
+        m = Memory()
+        addr = Memory.PAGE_SIZE - 2
+        m.write32(addr, 0xCAFEBABE)
+        assert m.read32(addr) == 0xCAFEBABE
+
+    def test_write8_masks(self):
+        m = Memory()
+        m.write8(0, 0x1FF)
+        assert m.read8(0) == 0xFF
+
+    def test_load_bytes(self):
+        m = Memory()
+        m.load_bytes(0x2000, b"\x01\x02\x03\x04")
+        assert m.read32(0x2000) == 0x04030201
+
+    def test_read16(self):
+        m = Memory()
+        m.write16(10, 0xABCD)
+        assert m.read16(10) == 0xABCD
+
+    @given(st.integers(min_value=0, max_value=1 << 20), st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_property_write_read32(self, addr, value):
+        m = Memory()
+        m.write32(addr, value)
+        assert m.read32(addr) == value
+
+
+# -- action cache -----------------------------------------------------------------
+
+
+class TestActionCache:
+    def test_lookup_missing(self):
+        cache = ActionCache()
+        assert cache.lookup((1,)) is None
+        assert cache.stats.lookups == 1
+
+    def test_incomplete_entry_not_returned(self):
+        cache = ActionCache()
+        cache.create_entry((1,))
+        assert cache.lookup((1,)) is None
+
+    def test_complete_entry_found(self):
+        cache = ActionCache()
+        entry = cache.create_entry((1,))
+        entry.complete = True
+        assert cache.lookup((1,)) is entry
+        assert cache.stats.hits == 1
+
+    def test_byte_accounting_grows(self):
+        cache = ActionCache()
+        before = cache.stats.bytes_current
+        cache.create_entry((1, 2, 3))
+        assert cache.stats.bytes_current > before
+
+    def test_limit_clears_cache(self):
+        cache = ActionCache(limit_bytes=50)
+        entry = cache.create_entry((1,) * 32)
+        entry.complete = True
+        assert cache.maybe_clear()
+        assert cache.lookup((1,) * 32) is None
+        assert cache.stats.clears == 1
+        assert cache.stats.bytes_current == 0
+
+    def test_cumulative_bytes_survive_clear(self):
+        cache = ActionCache(limit_bytes=50)
+        cache.create_entry((1,) * 32)
+        total = cache.stats.bytes_cumulative
+        cache.maybe_clear()
+        assert cache.stats.bytes_cumulative == total
+
+    def test_no_limit_never_clears(self):
+        cache = ActionCache()
+        cache.create_entry((1,) * 1000)
+        assert not cache.maybe_clear()
+
+
+# -- memoizer recording protocol ----------------------------------------------------
+
+
+def record_simple_chain(cache, key=(1,), nums=(0, 1, 2)):
+    m = Memoizer(cache)
+    m.begin_step(key)
+    for num in nums:
+        m.action(num, (num * 10,))
+    m.end_step()
+    return m
+
+
+class TestMemoizerRecording:
+    def test_records_linked_in_order(self):
+        cache = ActionCache()
+        record_simple_chain(cache)
+        entry = cache.lookup((1,))
+        rec = entry.first
+        seen = []
+        while not rec.is_end:
+            seen.append(rec.num)
+            rec = rec.next
+        assert seen == [0, 1, 2]
+
+    def test_entry_completed(self):
+        cache = ActionCache()
+        record_simple_chain(cache)
+        assert cache.lookup((1,)).complete
+
+    def test_verify_creates_successor_map(self):
+        cache = ActionCache()
+        m = Memoizer(cache)
+        m.begin_step((2,))
+        m.begin_verify(5, ())
+        m.note_verify(1)
+        m.action(6, ())
+        m.end_step()
+        entry = cache.lookup((2,))
+        vrec = entry.first
+        assert isinstance(vrec, VerifyRecord)
+        assert 1 in vrec.succ
+        assert vrec.succ[1].num == 6
+
+    def test_end_while_recovering_is_error(self):
+        cache = ActionCache()
+        m = Memoizer(cache)
+        entry = cache.create_entry((3,))
+        entry.first = EndRecord()
+        m.begin_recovery(entry, [0])
+        with pytest.raises(SimulationError):
+            m.end_step()
+
+
+class TestMemoizerRecovery:
+    def build_branchy_entry(self, cache):
+        """Record: action 0; verify 1 (value 0); action 2; end."""
+        m = Memoizer(cache)
+        m.begin_step((9,))
+        m.action(0, ())
+        m.begin_verify(1, ())
+        m.note_verify(0)
+        m.action(2, ())
+        m.end_step()
+        return cache.lookup((9,))
+
+    def test_recovery_replays_action_numbers(self):
+        cache = ActionCache()
+        entry = self.build_branchy_entry(cache)
+        m = Memoizer(cache)
+        # The fast engine saw verify 1 produce value 7 (a miss).
+        m.begin_recovery(entry, [7])
+        m.action(0, ())  # verified against recorded chain
+        m.begin_verify(1, ())
+        value = m.pop_verify()
+        assert value == 7
+        assert m.recover is False
+        # Now recording resumes on the new successor branch.
+        m.action(3, ())
+        m.end_step()
+        vrec = entry.first.next
+        assert set(vrec.succ) == {0, 7}
+        assert vrec.succ[7].num == 3
+
+    def test_recovery_desync_detected(self):
+        cache = ActionCache()
+        entry = self.build_branchy_entry(cache)
+        m = Memoizer(cache)
+        m.begin_recovery(entry, [7])
+        with pytest.raises(SimulationError, match="desync"):
+            m.action(99, ())
+
+    def test_recovery_through_known_verify(self):
+        cache = ActionCache()
+        entry = self.build_branchy_entry(cache)
+        m = Memoizer(cache)
+        # Two results: first follows the recorded 0-branch, second (the
+        # miss) is a new value at a later verify... simulate by walking
+        # the recorded 0-branch then missing at its end is not possible
+        # here, so instead verify the first pop follows succ correctly.
+        m.begin_recovery(entry, [0, 5])
+        m.action(0, ())
+        m.begin_verify(1, ())
+        assert m.pop_verify() == 0
+        assert m.recover is True  # still recovering (one more result)
+
+    def test_pop_verify_underflow(self):
+        cache = ActionCache()
+        entry = self.build_branchy_entry(cache)
+        m = Memoizer(cache)
+        m.begin_recovery(entry, [])
+        with pytest.raises(SimulationError, match="underflow"):
+            m.pop_verify()
+
+
+class TestRecordTypes:
+    def test_action_record_flags(self):
+        rec = ActionRecord(1, ())
+        assert not rec.is_verify and not rec.is_end
+
+    def test_verify_record_flags(self):
+        rec = VerifyRecord(1, ())
+        assert rec.is_verify and not rec.is_end
+
+    def test_end_record_flags(self):
+        rec = EndRecord()
+        assert rec.is_end and not rec.is_verify

@@ -1,0 +1,148 @@
+"""Unit tests for Facile semantic analysis."""
+
+import pytest
+
+from repro.facile import SemanticError
+from repro.facile.parser import parse
+from repro.facile.sema import analyze
+
+HEADER = (
+    "token instruction[32] fields op 24:31, rl 19:23, imm 0:12;"
+    "pat add = op==0; pat bz = op==1;"
+)
+
+
+def check(src, require_main=False):
+    return analyze(parse(src), require_main=require_main)
+
+
+class TestSymbolResolution:
+    def test_undefined_name_rejected(self):
+        with pytest.raises(SemanticError, match="undefined name"):
+            check("fun f() { val x = y + 1; }")
+
+    def test_local_scoping(self):
+        check("fun f() { val x = 1; if (x) { val y = x; x = y; } }")
+
+    def test_block_scope_does_not_leak(self):
+        with pytest.raises(SemanticError, match="undefined name"):
+            check("fun f() { if (1) { val y = 1; } val z = y; }")
+
+    def test_globals_visible_everywhere(self):
+        check("val g = 0; fun f() { g = g + 1; }")
+
+    def test_params_visible(self):
+        check("fun f(a, b) { val c = a + b; }")
+
+    def test_fields_visible_only_in_pattern_context(self):
+        check(HEADER + "sem add { val x = imm; };")
+        with pytest.raises(SemanticError, match="undefined name"):
+            check(HEADER + "fun f() { val x = imm; }")
+
+    def test_fields_visible_in_pat_switch_arm(self):
+        check(HEADER + "fun f(pc) { switch (pc) { pat add: val x = imm; } }")
+
+    def test_cannot_assign_to_field(self):
+        with pytest.raises(SemanticError, match="token field"):
+            check(HEADER + "sem add { imm = 1; };")
+
+    def test_assignment_to_undefined_rejected(self):
+        with pytest.raises(SemanticError, match="undefined"):
+            check("fun f() { nothere = 1; }")
+
+    def test_duplicate_global_rejected(self):
+        with pytest.raises(SemanticError, match="duplicate"):
+            check("val g = 0; val g = 1;")
+
+    def test_global_shadowing_builtin_rejected(self):
+        with pytest.raises(SemanticError, match="built-in"):
+            check("val mem_read = 0;")
+
+    def test_fun_shadowing_field_rejected(self):
+        with pytest.raises(SemanticError, match="shadows a token field"):
+            check(HEADER + "fun imm() { }")
+
+
+class TestCalls:
+    def test_call_unknown_function(self):
+        with pytest.raises(SemanticError, match="undefined function"):
+            check("fun f() { nosuch(); }")
+
+    def test_fun_arity_checked(self):
+        with pytest.raises(SemanticError, match="expects 2"):
+            check("fun g(a, b) { } fun f() { g(1); }")
+
+    def test_extern_arity_checked(self):
+        with pytest.raises(SemanticError, match="expects 3"):
+            check("extern cache(3); fun f() { cache(1); }")
+
+    def test_builtin_arity_checked(self):
+        with pytest.raises(SemanticError, match="expects 1"):
+            check("fun f() { mem_read(1, 2); }")
+
+    def test_attr_arity_checked(self):
+        with pytest.raises(SemanticError, match=r"\?sext expects 1"):
+            check("fun f(x) { val y = x?sext(1, 2); }")
+
+    def test_unknown_attr_rejected(self):
+        with pytest.raises(SemanticError, match="unknown attribute"):
+            check("fun f(x) { val y = x?frobnicate(); }")
+
+
+class TestRecursionBan:
+    def test_direct_recursion_rejected(self):
+        with pytest.raises(SemanticError, match="recursion"):
+            check("fun f() { f(); }")
+
+    def test_mutual_recursion_rejected(self):
+        with pytest.raises(SemanticError, match="recursion"):
+            check("fun f() { g(); } fun g() { f(); }")
+
+    def test_long_cycle_rejected(self):
+        with pytest.raises(SemanticError, match="recursion"):
+            check("fun a() { b(); } fun b() { c(); } fun c() { a(); }")
+
+    def test_diamond_call_graph_allowed(self):
+        check("fun d() { } fun b() { d(); } fun c() { d(); } fun a() { b(); c(); }")
+
+    def test_call_order_is_reverse_topological(self):
+        info = check("fun leaf() { } fun mid() { leaf(); } fun top() { mid(); }")
+        order = info.call_order
+        assert order.index("leaf") < order.index("mid") < order.index("top")
+
+
+class TestStructure:
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(SemanticError, match="break outside"):
+            check("fun f() { break; }")
+
+    def test_continue_outside_loop_rejected(self):
+        with pytest.raises(SemanticError, match="continue outside"):
+            check("fun f() { continue; }")
+
+    def test_break_inside_loop_ok(self):
+        check("fun f() { while (1) { break; } }")
+
+    def test_sem_for_unknown_pattern(self):
+        with pytest.raises(SemanticError, match="unknown pattern"):
+            check(HEADER + "sem nosuch { };")
+
+    def test_duplicate_sem(self):
+        with pytest.raises(SemanticError, match="duplicate sem"):
+            check(HEADER + "sem add { }; sem add { };")
+
+    def test_switch_multiple_defaults(self):
+        with pytest.raises(SemanticError, match="multiple default"):
+            check("fun f(x) { switch (x) { default: x = 1; default: x = 2; } }")
+
+    def test_main_required_for_simulators(self):
+        with pytest.raises(SemanticError, match="'main'"):
+            check("fun notmain() { }", require_main=True)
+
+    def test_main_present(self):
+        info = check("val init = 0; fun main(pc) { init = pc; }", require_main=True)
+        assert "main" in info.functions
+
+    def test_switch_unknown_pattern_in_case(self):
+        with pytest.raises(SemanticError, match="unknown pattern"):
+            check(HEADER + "fun f(pc) { switch (pc) { pat nosuch: pc = 0; } }")

@@ -1,0 +1,112 @@
+"""Validation of the full SPEC95-analogue workload suite.
+
+Every workload must halt, produce its expected checksum on the golden
+model, and produce the *same* checksum through the Facile-compiled
+functional simulator — both memoized and plain."""
+
+import pytest
+
+from repro.isa.funcsim import FunctionalSim
+from repro.isa.simulate import run_facile_functional
+from repro.workloads.minic import read_out_buffer
+from repro.workloads.suite import (
+    FP_WORKLOADS,
+    INTEGER_WORKLOADS,
+    WORKLOADS,
+    build_cached,
+    expected_out,
+)
+
+ALL_NAMES = sorted(WORKLOADS)
+
+
+class TestSuiteShape:
+    def test_paper_benchmark_lineup(self):
+        """All 18 SPEC95 names from the paper's Tables 1/2 are present."""
+        expected = {
+            "go", "m88ksim", "gcc", "compress", "li", "ijpeg", "perl", "vortex",
+            "tomcatv", "swim", "su2cor", "hydro2d", "mgrid", "applu", "turb3d",
+            "apsi", "fpppp", "wave5",
+        }
+        assert set(WORKLOADS) == expected
+
+    def test_categories(self):
+        assert len(INTEGER_WORKLOADS) == 8
+        assert len(FP_WORKLOADS) == 10
+
+    def test_descriptions_nonempty(self):
+        for w in WORKLOADS.values():
+            assert w.description
+
+    def test_build_caching_returns_same_object(self):
+        assert build_cached("li", 1) is build_cached("li", 1)
+
+    def test_scales_change_work(self):
+        small = FunctionalSim.for_program(build_cached("compress", 1))
+        big = FunctionalSim.for_program(build_cached("compress", 3))
+        small.run()
+        big.run()
+        assert big.instret > small.instret
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestWorkloadCorrectness:
+    def test_halts_and_produces_output(self, name):
+        scale = WORKLOADS[name].test_scale
+        sim = FunctionalSim.for_program(build_cached(name, scale))
+        sim.run(50_000_000)
+        assert sim.halted
+        assert read_out_buffer(sim.mem), "workload must write a checksum"
+
+    def test_deterministic(self, name):
+        scale = WORKLOADS[name].test_scale
+        assert expected_out(name, scale) == expected_out(name, scale)
+
+    def test_facile_functional_matches_golden(self, name):
+        scale = WORKLOADS[name].test_scale
+        program = build_cached(name, scale)
+        golden = FunctionalSim.for_program(program)
+        golden.run(50_000_000)
+        run = run_facile_functional(program, memoized=True, max_steps=50_000_000)
+        assert run.halted
+        assert run.retired == golden.instret
+        assert read_out_buffer(run.ctx.mem) == list(expected_out(name, scale))
+
+    def test_facile_plain_matches_golden(self, name):
+        scale = WORKLOADS[name].test_scale
+        program = build_cached(name, scale)
+        run = run_facile_functional(program, memoized=False, max_steps=50_000_000)
+        assert run.halted
+        assert read_out_buffer(run.ctx.mem) == list(expected_out(name, scale))
+
+
+@pytest.mark.parametrize(
+    "name,scale",
+    [("go", 1), ("gcc", 1), ("mgrid", 1), ("fpppp", 20)],
+)
+class TestMemoizationProfiles:
+    """The behavioural axes the suite was designed around.
+
+    fpppp needs several passes of its enormous straight-line block
+    before replay dominates warm-up — the paper's SPEC runs are long
+    enough that this is invisible, ours are not.
+    """
+
+    def test_functional_sim_fast_forwards(self, name, scale):
+        run = run_facile_functional(build_cached(name, scale), memoized=True)
+        assert run.engine.fast_forward_fraction() > 0.9
+
+
+class TestFootprintOrdering:
+    def test_go_has_biggest_cache_per_instruction(self):
+        """go's irregular control gives it the worst memoized-data
+        footprint (paper Table 2: go = 889 MB, the suite's maximum)."""
+        from repro.ooo.facile_ooo import run_facile_ooo
+
+        per_instr = {}
+        for name in ("go", "mgrid"):
+            run = run_facile_ooo(build_cached(name, WORKLOADS[name].test_scale))
+            per_instr[name] = (
+                run.engine.cache.stats.bytes_cumulative / max(1, run.stats.retired)
+            )
+        assert per_instr["go"] > per_instr["mgrid"]

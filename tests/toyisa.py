@@ -1,0 +1,92 @@
+"""Shared toy-ISA fixtures for the Facile compiler tests.
+
+This is the paper's running example (Figures 4-7): a fictitious RISC
+ISA with ``add`` (register or immediate forms) and ``bz`` (branch if
+zero), plus the trivial one-instruction-per-step ``main`` of Figure 6.
+"""
+
+from __future__ import annotations
+
+from repro.facile import FastForwardEngine, PlainEngine, compile_source
+
+TOY_SOURCE = """
+token instruction[32] fields
+  op 24:31, rl 19:23, r2 14:18, r3 0:4, i 13:13, imm 0:12,
+  offset 0:18, fill 5:12;
+
+pat add = op==0x00 && (i==1 || fill==0);
+pat bz  = op==0x01;
+
+val PC : stream;
+val nPC : stream;
+val R = array(32){0};
+val init : stream;
+
+sem add {
+  if (i) R[rl] = (R[r2] + imm?sext(13))?u32;
+  else   R[rl] = (R[r2] + R[r3])?u32;
+};
+sem bz {
+  if (R[rl] == 0) nPC = PC + offset?sext(19);
+};
+
+fun main(pc) {
+  PC = pc;
+  nPC = PC + 4;
+  PC?exec();
+  init = nPC;
+  stat_retire(1);
+}
+"""
+
+BASE = 0x1000
+HALT_WORD = 0xFF000000  # no pattern matches op 0xFF -> default arm halts
+
+
+def add_imm(rl: int, r2: int, imm: int) -> int:
+    return (0 << 24) | (rl << 19) | (r2 << 14) | (1 << 13) | (imm & 0x1FFF)
+
+
+def add_reg(rl: int, r2: int, r3: int) -> int:
+    return (0 << 24) | (rl << 19) | (r2 << 14) | r3
+
+
+def bz(rl: int, offset: int) -> int:
+    return (1 << 24) | (rl << 19) | (offset & 0x7FFFF)
+
+
+def compile_toy(**kwargs):
+    return compile_source(TOY_SOURCE, name="toy", **kwargs)
+
+
+def load_program(ctx, words: list[int], base: int = BASE, entry: int | None = None) -> None:
+    for i, word in enumerate(words):
+        ctx.mem.write32(base + 4 * i, word)
+    ctx.write_global("init", entry if entry is not None else base)
+
+
+def run_memoized(sim, words: list[int], max_steps: int = 10_000, **engine_kwargs):
+    ctx = sim.make_context()
+    load_program(ctx, words)
+    engine = FastForwardEngine(sim, ctx, **engine_kwargs)
+    stats = engine.run(max_steps=max_steps)
+    return ctx, engine, stats
+
+
+def run_plain(sim, words: list[int], max_steps: int = 10_000):
+    ctx = sim.make_context()
+    load_program(ctx, words)
+    engine = PlainEngine(sim, ctx)
+    stats = engine.run(max_steps=max_steps)
+    return ctx, engine, stats
+
+
+def countdown_program(n: int) -> list[int]:
+    """r1 = n; while (r1 != 0) r1 -= 1; halt."""
+    return [
+        add_imm(1, 0, n),        # 0x1000: r1 = n
+        add_imm(1, 1, 0x1FFF),   # 0x1004: r1 -= 1
+        bz(1, 8),                # 0x1008: if r1 == 0 goto 0x1010
+        bz(0, -8),               # 0x100c: goto 0x1004 (r0 is always 0)
+        HALT_WORD,               # 0x1010
+    ]
