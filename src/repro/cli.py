@@ -89,13 +89,19 @@ def _cmd_asm(args: argparse.Namespace) -> int:
 
 
 _RUNNERS = {
-    "golden": lambda p, memo: run_golden(p),
-    "functional": lambda p, memo: run_facile_functional(p, memoized=memo),
-    "inorder": lambda p, memo: run_facile_inorder(p, memoized=memo),
-    "inorder-ref": lambda p, memo: run_inorder(p),
-    "ooo": lambda p, memo: run_facile_ooo(p, memoized=memo),
-    "ooo-ref": lambda p, memo: run_reference(p),
-    "ooo-fastsim": lambda p, memo: run_fastsim(p, memoize=memo),
+    "golden": lambda p, memo, jit, thr: run_golden(p),
+    "functional": lambda p, memo, jit, thr: run_facile_functional(
+        p, memoized=memo, trace_jit=jit, trace_threshold=thr
+    ),
+    "inorder": lambda p, memo, jit, thr: run_facile_inorder(
+        p, memoized=memo, trace_jit=jit, trace_threshold=thr
+    ),
+    "inorder-ref": lambda p, memo, jit, thr: run_inorder(p),
+    "ooo": lambda p, memo, jit, thr: run_facile_ooo(
+        p, memoized=memo, trace_jit=jit, trace_threshold=thr
+    ),
+    "ooo-ref": lambda p, memo, jit, thr: run_reference(p),
+    "ooo-fastsim": lambda p, memo, jit, thr: run_fastsim(p, memoize=memo),
 }
 
 
@@ -122,13 +128,21 @@ def _report_run(kind: str, result, elapsed: float) -> None:
             print(f"steps: {rs.steps_total:,} total, {rs.steps_fast:,} fast, "
                   f"{rs.steps_slow:,} slow, {rs.steps_recovered:,} recovered")
     del run_stats
+    engine = getattr(result, "engine", None)
+    manager = getattr(engine, "traces", None)
+    if manager is not None and manager.stats.traces_compiled:
+        agg = manager.aggregate()
+        print(f"traces: {manager.stats.traces_compiled} compiled "
+              f"({manager.stats.traces_invalidated} invalidated), "
+              f"{agg['steps']:,} steps replayed in {agg['calls']:,} calls, "
+              f"{agg['side_exits']:,} side exits")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     program = assemble(open(args.file).read())
     runner = _RUNNERS[args.sim]
     start = time.perf_counter()
-    result = runner(program, not args.plain)
+    result = runner(program, not args.plain, args.trace_jit, args.trace_threshold)
     elapsed = time.perf_counter() - start
     _report_run(args.sim, result, elapsed)
     return 0
@@ -160,7 +174,7 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     program = build_cached(args.name, args.scale)
     runner = _RUNNERS[args.sim]
     start = time.perf_counter()
-    result = runner(program, not args.plain)
+    result = runner(program, not args.plain, args.trace_jit, args.trace_threshold)
     elapsed = time.perf_counter() - start
     _report_run(args.sim, result, elapsed)
     return 0
@@ -193,6 +207,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--sim", choices=sorted(_RUNNERS), default="golden")
     p.add_argument("--plain", action="store_true", help="disable memoization")
+    _add_trace_flags(p)
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("minic", help="compile and run a minic program")
@@ -206,8 +221,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=int, default=None)
     p.add_argument("--sim", choices=sorted(_RUNNERS), default="ooo")
     p.add_argument("--plain", action="store_true")
+    _add_trace_flags(p)
     p.set_defaults(func=_cmd_workloads)
     return parser
+
+
+def _add_trace_flags(p: argparse.ArgumentParser) -> None:
+    g = p.add_mutually_exclusive_group()
+    g.add_argument(
+        "--trace-jit", dest="trace_jit", action="store_true", default=True,
+        help="compile hot replay chains to superblocks (default)",
+    )
+    g.add_argument(
+        "--no-trace-jit", dest="trace_jit", action="store_false",
+        help="replay through the interpreter only",
+    )
+    p.add_argument(
+        "--trace-threshold", type=int, default=64, metavar="N",
+        help="replays before a chain is promoted to a trace (default 64)",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

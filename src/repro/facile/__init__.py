@@ -14,7 +14,14 @@ public surface:
 """
 
 from .compiler import CompilationResult, compile_source
-from .inspect import cache_summary, dump_entry, explain_division, hot_actions
+from .inspect import (
+    cache_summary,
+    dump_entry,
+    explain_division,
+    hot_actions,
+    trace_summary,
+)
+from .tracecomp import Trace, TraceManager
 from .pprint import format_expr, format_program, format_stmt
 from .runtime import (
     ActionCache,
@@ -36,6 +43,9 @@ __all__ = [
     "format_program",
     "format_stmt",
     "hot_actions",
+    "trace_summary",
+    "Trace",
+    "TraceManager",
     "CompilationResult",
     "CompiledSimulator",
     "FacileError",

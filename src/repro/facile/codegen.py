@@ -902,6 +902,11 @@ class CodeGenerator:
             plain_main=namespace.get("plain_main"),  # type: ignore[arg-type]
             source_plain=plain_src,
             division_summary=division_summary,
+            action_bodies=[
+                (list(a.body_lines), a.n_placeholders, a.is_verify)
+                for a in self.actions
+            ],
+            namespace=namespace,
         )
 
 

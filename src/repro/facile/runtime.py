@@ -20,7 +20,7 @@ simulator:
 
 from __future__ import annotations
 
-from collections import deque
+from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -117,13 +117,17 @@ class EndRecord:
 
 
 class CacheEntry:
-    __slots__ = ("key", "first", "complete", "generation")
+    __slots__ = ("key", "first", "complete", "generation", "hot", "trace")
 
     def __init__(self, key: tuple, generation: int = 0):
         self.key = key
         self.first: object | None = None
         self.complete = False
         self.generation = generation
+        # Trace-JIT bookkeeping: interpreted-replay count and the
+        # compiled Trace (or NO_TRACE sentinel) rooted at this entry.
+        self.hot = 0
+        self.trace: object | None = None
 
 
 @dataclass
@@ -526,6 +530,14 @@ class CompiledSimulator:
     plain_main: Callable | None = None  # non-memoized build
     source_plain: str = ""
     division_summary: dict = field(default_factory=dict)
+    # Per-action body source for the trace compiler: index ->
+    # (body_lines, n_placeholders, is_verify).  Bodies reference _ctx,
+    # _S, and _ph<K> placeholder names, same as the fast-action table.
+    action_bodies: list = field(default_factory=list)
+    # The exec globals the engine sources were compiled against; trace
+    # functions are compiled against (a copy of) the same namespace so
+    # spliced bodies resolve helpers identically.
+    namespace: dict = field(default_factory=dict)
 
     def make_context(self, externs: dict[str, Callable] | None = None) -> SimContext:
         ctx = SimContext(self.slot_count, self.global_slots, externs)
@@ -534,7 +546,14 @@ class CompiledSimulator:
 
 
 class FastForwardEngine:
-    """The two-engine driver: fast replay with slow fallback (Figure 1)."""
+    """The two-engine driver: fast replay with slow fallback (Figure 1).
+
+    When ``trace_jit`` is enabled (the default) a third tier sits above
+    the record interpreter: entries whose chains replay more than
+    ``trace_threshold`` times are compiled into straight-line
+    superblocks by :mod:`repro.facile.tracecomp` and subsequent steps
+    call a single Python function instead of dispatching per record.
+    """
 
     def __init__(
         self,
@@ -542,7 +561,11 @@ class FastForwardEngine:
         ctx: SimContext,
         cache_limit_bytes: int | None = None,
         index_links: bool = True,
+        trace_jit: bool = True,
+        trace_threshold: int = 64,
     ):
+        from .tracecomp import TraceManager
+
         self.compiled = compiled
         self.ctx = ctx
         self.cache = ActionCache(limit_bytes=cache_limit_bytes)
@@ -551,13 +574,27 @@ class FastForwardEngine:
         # The paper's INDEX_ACTION chaining; disable to force a full
         # cache lookup at every step boundary (ablation).
         self.index_links = index_links
+        # The trace-compilation tier.  Needs action bodies from the
+        # code generator; simulators built before that existed (or by
+        # hand in tests) silently fall back to the interpreter.
+        self.traces: TraceManager | None = None
+        if trace_jit and compiled.action_bodies:
+            self.traces = TraceManager(
+                compiled, self.cache, threshold=trace_threshold
+            )
         # Optional per-action replay counts; enable with profile().
-        self.action_profile: dict[int, int] | None = None
+        self.action_profile: Counter[int] | None = None
 
     def profile(self, enabled: bool = True) -> None:
         """Count fast-engine executions per action number (hot-action
-        analysis; see repro.facile.inspect.hot_actions)."""
-        self.action_profile = {} if enabled else None
+        analysis; see repro.facile.inspect.hot_actions).
+
+        Compiled traces do no per-record bookkeeping, so while
+        profiling is enabled the driver bypasses trace execution and
+        suspends promotion: every replay goes through the interpreter
+        and is attributed per action.  Call before :meth:`run`.
+        """
+        self.action_profile = Counter() if enabled else None
 
     def _freeze_key(self, raw) -> tuple:
         # When init is written by a flush action the stored value is
@@ -578,47 +615,103 @@ class FastForwardEngine:
         return self._freeze_key(self.ctx.S[self.compiled.init_slot])
 
     def run(self, max_steps: int | None = None) -> RunStats:
+        from .tracecomp import TRACE_COMPLETE, UNBOUNDED_BUDGET
+
         ctx = self.ctx
         S = ctx.S
         init_slot = self.compiled.init_slot
         cache = self.cache
+        cstats = cache.stats
+        stats = self.stats
+        index_links = self.index_links
+        generation = cache.generation
+        # Trace tier state.  Profiling needs per-action attribution, so
+        # it forces the interpreter (see profile()).
+        traces = self.traces if self.action_profile is None else None
+        threshold = traces.threshold if traces is not None else 0
         steps = 0
         last_end: EndRecord | None = None
         while not ctx.halted and (max_steps is None or steps < max_steps):
             raw = S[init_slot]
             entry = None
-            if last_end is not None and self.index_links:
+            if last_end is not None and index_links:
                 cached = last_end.likely_next
                 if (
                     cached is not None
                     and cached[0] is raw
-                    and cached[1].generation == cache.generation
+                    and cached[1].generation == generation
                 ):
                     entry = cached[1]
-                    cache.stats.lookups += 1
-                    cache.stats.hits += 1
+                    cstats.lookups += 1
+                    cstats.hits += 1
             if entry is None:
                 key = self._freeze_key(raw)
                 entry = cache.lookup(key)
                 if entry is not None and last_end is not None:
                     last_end.likely_next = (raw, entry)
             if entry is None:
-                cache.stats.misses_new_key += 1
+                cstats.misses_new_key += 1
                 self._slow_step(key)
-                self.stats.steps_slow += 1
+                stats.steps_slow += 1
+                steps += 1
+                stats.steps_total += 1
                 last_end = None
             else:
-                end = self._fast_step(entry)
-                if end is None:
-                    self.stats.steps_recovered += 1
-                    last_end = None
+                trace = entry.trace
+                if (
+                    traces is not None
+                    and trace is not None
+                    and trace.generation == generation
+                ):
+                    budget = (
+                        max_steps - steps if max_steps is not None
+                        else UNBOUNDED_BUDGET
+                    )
+                    ctx.in_fast = True
+                    try:
+                        result = trace.fn(ctx, S, budget)
+                    finally:
+                        ctx.in_fast = False
+                    trace.calls += 1
+                    n = result[1]
+                    trace.steps += n
+                    trace.actions += result[2]
+                    stats.steps_fast += n
+                    stats.actions_replayed += result[2]
+                    steps += n
+                    stats.steps_total += n
+                    if result[0] == TRACE_COMPLETE:
+                        last_end = result[3]
+                    else:
+                        # Side exit: the diverging step recovers through
+                        # the slow engine, exactly as an interpreted miss.
+                        trace.side_exits += 1
+                        cstats.misses_verify += 1
+                        self._recover(result[3], list(result[4]))
+                        stats.steps_recovered += 1
+                        steps += 1
+                        stats.steps_total += 1
+                        last_end = None
                 else:
-                    self.stats.steps_fast += 1
-                    last_end = end
-            steps += 1
-            self.stats.steps_total += 1
+                    end = self._fast_step(entry)
+                    steps += 1
+                    stats.steps_total += 1
+                    if end is None:
+                        stats.steps_recovered += 1
+                        last_end = None
+                    else:
+                        stats.steps_fast += 1
+                        last_end = end
+                        if traces is not None and trace is None:
+                            hot = entry.hot + 1
+                            entry.hot = hot
+                            if hot >= threshold:
+                                traces.promote(entry, stats.steps_total)
             if cache.maybe_clear():
                 last_end = None
+                generation = cache.generation
+                if traces is not None:
+                    traces.on_cache_clear()
         return self.stats
 
     # -- slow path -------------------------------------------------------
@@ -633,15 +726,22 @@ class FastForwardEngine:
     # -- fast path -------------------------------------------------------
 
     def _fast_step(self, entry: CacheEntry) -> EndRecord | None:
-        """Replay one step.
+        """Replay one step through the record interpreter.
 
         Returns the chain's end record on a clean replay, or None when
         an action-cache miss forced recovery through the slow engine.
+
+        Attribute lookups that sit on the per-record path (the action
+        table, the value freezer, ``consumed.append``) are hoisted into
+        locals: with coalesced multi-statement actions the loop body is
+        otherwise dominated by attribute dispatch.
         """
         ctx = self.ctx
         S = ctx.S
         actions = self.compiled.fast_actions
+        _freeze = freeze
         consumed: list = []
+        consumed_append = consumed.append
         rec = entry.first
         ctx.in_fast = True
         replayed = 0
@@ -649,20 +749,20 @@ class FastForwardEngine:
         try:
             while rec is not None and not rec.is_end:
                 if prof is not None:
-                    prof[rec.num] = prof.get(rec.num, 0) + 1
+                    prof[rec.num] += 1
                 fn, is_verify = actions[rec.num]
                 if is_verify:
-                    value = freeze(fn(ctx, S, rec.data))
+                    value = _freeze(fn(ctx, S, rec.data))
                     nxt = rec.succ.get(value)
                     replayed += 1
                     if nxt is None:
                         # Action cache miss: return to the slow simulator.
-                        consumed.append(value)
+                        consumed_append(value)
                         self.cache.stats.misses_verify += 1
                         self.stats.actions_replayed += replayed
                         self._recover(entry, consumed)
                         return None
-                    consumed.append(value)
+                    consumed_append(value)
                     rec = nxt
                 else:
                     fn(ctx, S, rec.data)
@@ -676,6 +776,11 @@ class FastForwardEngine:
         return rec
 
     def _recover(self, entry: CacheEntry, results: list) -> None:
+        # Recovery appends a fresh successor chain to a verify record of
+        # this entry, so any compiled trace whose comparison ladder was
+        # specialized on the entry's old successor set is now stale.
+        if self.traces is not None:
+            self.traces.invalidate_for(entry)
         self.ctx.in_fast = False
         M = self.memoizer
         M.begin_recovery(entry, results)

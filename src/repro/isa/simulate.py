@@ -44,12 +44,17 @@ def run_facile_functional(
     memoized: bool = True,
     max_steps: int = 1_000_000,
     cache_limit_bytes: int | None = None,
+    trace_jit: bool = True,
+    trace_threshold: int = 64,
 ) -> FunctionalRun:
     """Run a program to completion on the Facile functional simulator."""
     compiled = compiled_functional_sim().simulator
     ctx = _prepare_context(compiled, program)
     if memoized:
-        engine = FastForwardEngine(compiled, ctx, cache_limit_bytes=cache_limit_bytes)
+        engine = FastForwardEngine(
+            compiled, ctx, cache_limit_bytes=cache_limit_bytes,
+            trace_jit=trace_jit, trace_threshold=trace_threshold,
+        )
     else:
         engine = PlainEngine(compiled, ctx)
     stats = engine.run(max_steps=max_steps)

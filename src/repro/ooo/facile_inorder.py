@@ -186,7 +186,8 @@ class InOrderRun:
 
 class FacileInOrderSim:
     def __init__(self, program: Program, config: C.MachineConfig | None = None,
-                 memoized: bool = True):
+                 memoized: bool = True, trace_jit: bool = True,
+                 trace_threshold: int = 64):
         self.config = config or C.MachineConfig()
         self.program = program
         self.compiled = compiled_inorder_sim(self.config).simulator
@@ -199,7 +200,10 @@ class FacileInOrderSim:
             "init", (program.entry, program.entry + 4, 0, ready, 0, 0, 0, 0)
         )
         if memoized:
-            self.engine = FastForwardEngine(self.compiled, self.ctx)
+            self.engine = FastForwardEngine(
+                self.compiled, self.ctx,
+                trace_jit=trace_jit, trace_threshold=trace_threshold,
+            )
         else:
             self.engine = PlainEngine(self.compiled, self.ctx)
 
@@ -235,6 +239,10 @@ class FacileInOrderSim:
 
 
 def run_facile_inorder(
-    program: Program, config: C.MachineConfig | None = None, memoized: bool = True
+    program: Program, config: C.MachineConfig | None = None, memoized: bool = True,
+    trace_jit: bool = True, trace_threshold: int = 64,
 ) -> InOrderRun:
-    return FacileInOrderSim(program, config, memoized=memoized).run()
+    return FacileInOrderSim(
+        program, config, memoized=memoized,
+        trace_jit=trace_jit, trace_threshold=trace_threshold,
+    ).run()

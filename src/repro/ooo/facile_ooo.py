@@ -336,6 +336,8 @@ class FacileOooSim:
         flush_policy: str = "live",
         coalesce: bool = True,
         index_links: bool = True,
+        trace_jit: bool = True,
+        trace_threshold: int = 64,
     ):
         self.config = config or C.MachineConfig()
         self.program = program
@@ -353,6 +355,8 @@ class FacileOooSim:
                 self.ctx,
                 cache_limit_bytes=cache_limit_bytes,
                 index_links=index_links,
+                trace_jit=trace_jit,
+                trace_threshold=trace_threshold,
             )
         else:
             self.engine = PlainEngine(self.compiled, self.ctx)
@@ -411,6 +415,8 @@ def run_facile_ooo(
     flush_policy: str = "live",
     coalesce: bool = True,
     index_links: bool = True,
+    trace_jit: bool = True,
+    trace_threshold: int = 64,
 ) -> FacileOooRun:
     sim = FacileOooSim(
         program,
@@ -420,5 +426,7 @@ def run_facile_ooo(
         flush_policy=flush_policy,
         coalesce=coalesce,
         index_links=index_links,
+        trace_jit=trace_jit,
+        trace_threshold=trace_threshold,
     )
     return sim.run(max_steps=max_steps)

@@ -1,0 +1,237 @@
+"""Tests for the trace-compilation tier (repro.facile.tracecomp).
+
+Three properties matter:
+
+1. **Equivalence** — a run with compiled traces produces bit-identical
+   architectural and microarchitectural results to the interpreter
+   replay path and to the non-memoized PlainEngine.
+2. **Side exits** — when a verify value diverges mid-trace, the trace
+   side-exits and the driver recovers through the slow engine exactly
+   like an interpreted miss.
+3. **Invalidation** — traces die when the cache is cleared and when
+   recovery grows a new verify successor under them, and the engine
+   never executes a stale trace.
+"""
+
+import pytest
+
+from repro.facile import FastForwardEngine, compile_source, trace_summary
+from repro.facile.tracecomp import NO_TRACE, compile_trace
+from repro.isa.assembler import assemble
+from repro.ooo.facile_ooo import FacileOooSim, run_facile_ooo
+from repro.workloads.suite import build_cached
+
+
+def sig(stats):
+    return (stats.cycles, stats.retired, stats.branches, stats.mispredicts,
+            stats.loads, stats.stores)
+
+
+def jit_run(program, threshold=4, **kw):
+    """An OOO run with eager trace promotion (tiny threshold, no
+    compile-budget rationing, so even short tests execute traces)."""
+    sim = FacileOooSim(program, trace_jit=True, trace_threshold=threshold, **kw)
+    sim.engine.traces.compile_step_budget = 1
+    return sim.run()
+
+
+class TestEquivalence:
+    """Trace-JIT vs interpreter vs PlainEngine across workloads."""
+
+    @pytest.mark.parametrize("name,scale", [
+        ("compress", 2),
+        ("mgrid", 1),
+        ("li", 2),
+    ])
+    def test_three_engines_agree(self, name, scale):
+        program = build_cached(name, scale)
+        jit = jit_run(program)
+        interp = run_facile_ooo(program, trace_jit=False)
+        plain = run_facile_ooo(program, memoized=False)
+        assert sig(jit.stats) == sig(interp.stats)
+        assert sig(jit.stats) == sig(plain.stats)
+        assert list(jit.ctx.read_global("R")) == list(interp.ctx.read_global("R"))
+        assert list(jit.ctx.read_global("R")) == list(plain.ctx.read_global("R"))
+
+    @pytest.mark.parametrize("name,scale", [("tomcatv", 4), ("go", 1)])
+    def test_trace_vs_interpreter_on_verify_heavy_runs(self, name, scale):
+        program = build_cached(name, scale)
+        jit = jit_run(program)
+        interp = run_facile_ooo(program, trace_jit=False)
+        assert sig(jit.stats) == sig(interp.stats)
+        # The point of the low threshold: replay really went through
+        # compiled superblocks, not the interpreter.
+        agg = jit.engine.traces.aggregate()
+        assert agg["steps"] > 1000
+        assert jit.run_stats.steps_fast >= agg["steps"]
+
+    def test_step_accounting_matches_interpreter(self):
+        program = build_cached("compress", 2)
+        jit = jit_run(program)
+        interp = run_facile_ooo(program, trace_jit=False)
+        a, b = jit.run_stats, interp.run_stats
+        assert (a.steps_total, a.steps_fast, a.steps_slow, a.steps_recovered) \
+            == (b.steps_total, b.steps_fast, b.steps_slow, b.steps_recovered)
+        assert a.actions_replayed == b.actions_replayed
+
+
+DRIFT_SRC = """
+extern probe(1);
+val init = 0;
+val acc = 0;
+fun main(i) {
+  acc = acc + probe(i)?verify;
+  if (acc >= 500) halt();
+  init = (i + 1) % 4;
+}
+"""
+
+
+def drift_engine(drift_after=200, threshold=4):
+    """Four-entry cycle whose verify value flips after ``drift_after``
+    probes — long after every entry has been promoted to a trace."""
+    sim = compile_source(DRIFT_SRC).simulator
+    calls = {"n": 0}
+
+    def probe(i):
+        calls["n"] += 1
+        return 1 if calls["n"] > drift_after else 0
+
+    ctx = sim.make_context({"probe": probe})
+    ctx.write_global("init", 0)
+    engine = FastForwardEngine(sim, ctx, trace_jit=True,
+                               trace_threshold=threshold)
+    engine.traces.compile_step_budget = 1
+    return engine, ctx
+
+
+class TestSideExits:
+    def test_divergence_mid_trace_recovers(self):
+        engine, ctx = drift_engine()
+        engine.run(max_steps=100_000)
+        assert ctx.halted
+        assert ctx.read_global("acc") == 500
+        agg = engine.traces.aggregate()
+        assert agg["side_exits"] >= 1
+        # Each side exit recovers through the slow engine, appending
+        # the new successor — visible as recovered steps.
+        assert engine.stats.steps_recovered >= 1
+
+    def test_drift_result_matches_interpreter(self):
+        jit_engine, jit_ctx = drift_engine()
+        jit_engine.run(max_steps=100_000)
+
+        sim = compile_source(DRIFT_SRC).simulator
+        calls = {"n": 0}
+
+        def probe(i):
+            calls["n"] += 1
+            return 1 if calls["n"] > 200 else 0
+
+        ctx = sim.make_context({"probe": probe})
+        ctx.write_global("init", 0)
+        interp = FastForwardEngine(sim, ctx, trace_jit=False)
+        interp.run(max_steps=100_000)
+
+        assert ctx.read_global("acc") == jit_ctx.read_global("acc")
+        a, b = jit_engine.stats, interp.stats
+        assert a.steps_total == b.steps_total
+        assert a.steps_recovered == b.steps_recovered
+
+    def test_asm_latency_drift_agrees(self):
+        # Cache-latency drift in a real pipeline model: warm lines hit,
+        # new lines miss, so CACHE verifies diverge under live traces.
+        src = """
+            set 300, %o0
+            set buf, %o2
+            clr %o1
+        loop:
+            and %o0, 63, %o3
+            sll %o3, 2, %o3
+            add %o2, %o3, %o4
+            ld [%o4], %o5
+            add %o1, %o5, %o1
+            subcc %o0, 1, %o0
+            bne loop
+            nop
+            halt
+            .data
+        buf:
+            .space 4096
+        """
+        program = assemble(src)
+        jit = jit_run(program)
+        interp = run_facile_ooo(program, trace_jit=False)
+        assert sig(jit.stats) == sig(interp.stats)
+
+
+class TestInvalidation:
+    def test_new_successor_kills_covering_traces(self):
+        engine, ctx = drift_engine()
+        engine.run(max_steps=100_000)
+        st = engine.traces.stats
+        assert st.traces_invalidated >= 1
+        # The hot loop re-promotes after the kill: some root was
+        # compiled more than once.  (No trace survives to the end —
+        # the final ``acc >= 500`` check is itself a fresh verify
+        # successor, so the halt step kills the last generation too.)
+        roots = {id(t.root) for t in engine.traces.traces}
+        assert st.traces_compiled > len(roots) >= 1
+
+    def test_cache_clear_invalidates_traces(self):
+        program = build_cached("compress", 2)
+        limited = jit_run(program, cache_limit_bytes=40_000)
+        unlimited = run_facile_ooo(program, trace_jit=False)
+        assert limited.engine.cache.stats.clears >= 1
+        assert limited.engine.traces.stats.traces_invalidated >= 1
+        # No stale trace ever executed: results stay exact.
+        assert sig(limited.stats) == sig(unlimited.stats)
+        # Every surviving trace belongs to the current generation.
+        generation = limited.engine.cache.generation
+        for t in limited.engine.traces.live_traces():
+            assert t.generation == generation
+
+    def test_failed_promotion_is_pinned(self):
+        # An incomplete entry cannot be compiled; promote() pins it so
+        # the attempt is not repeated every replay.
+        engine, ctx = drift_engine()
+        engine.run(max_steps=10)
+
+        class FakeEntry:
+            complete = False
+            first = None
+            hot = 0
+            trace = None
+
+        entry = FakeEntry()
+        assert engine.traces.promote(entry) is None
+        assert entry.trace is NO_TRACE
+        assert compile_trace(entry, engine.compiled,
+                             engine.cache.generation) is None
+
+
+class TestProfilingComposition:
+    def test_profile_suspends_trace_execution(self):
+        program = build_cached("compress", 2)
+        sim = FacileOooSim(program, trace_jit=True, trace_threshold=4)
+        sim.engine.profile()
+        sim.run()
+        # Profiling needs per-action attribution, so nothing may run
+        # through (or be promoted to) compiled traces.
+        assert sim.engine.traces.aggregate()["calls"] == 0
+        assert sim.engine.traces.stats.traces_compiled == 0
+        assert sum(sim.engine.action_profile.values()) > 0
+
+
+class TestReporting:
+    def test_trace_summary_renders(self):
+        program = build_cached("compress", 2)
+        run = jit_run(program)
+        text = trace_summary(run.engine)
+        assert "traces:" in text and "side exits:" in text
+        assert "compiled" in text
+
+    def test_summary_when_disabled(self):
+        program = build_cached("li", 2)
+        run = run_facile_ooo(program, trace_jit=False)
+        assert "disabled" in trace_summary(run.engine)
