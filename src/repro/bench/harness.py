@@ -41,6 +41,7 @@ class Measurement:
     steps_recovered: int = 0
     memo_bytes: int = 0
     memo_clears: int = 0
+    memo_evictions: int = 0
     extra: dict = field(default_factory=dict)
 
     @property
@@ -62,6 +63,7 @@ def measure(
     workload_name: str = "?",
     config: MachineConfig | None = None,
     cache_limit_bytes: int | None = None,
+    cache_evict: str = "clear",
     max_cycles: int = 200_000_000,
 ) -> Measurement:
     """Run `program` to completion on the named simulator configuration."""
@@ -80,6 +82,7 @@ def measure(
             memoize=memoize,
             max_cycles=max_cycles,
             memo_limit_bytes=cache_limit_bytes,
+            memo_evict=cache_evict,
         )
         elapsed = time.perf_counter() - start
         return Measurement(
@@ -94,6 +97,7 @@ def measure(
             steps_recovered=sim.mstats.cycles_recovered,
             memo_bytes=sim.mstats.bytes_estimate,
             memo_clears=sim.mstats.clears,
+            memo_evictions=sim.mstats.evictions,
         )
     if simulator in ("facile", "facile-nomemo"):
         memoized = simulator == "facile"
@@ -103,6 +107,7 @@ def measure(
             memoized=memoized,
             max_steps=max_cycles,
             cache_limit_bytes=cache_limit_bytes,
+            cache_evict=cache_evict,
         )
         elapsed = time.perf_counter() - start
         if memoized:
@@ -119,6 +124,7 @@ def measure(
                 steps_recovered=run.run_stats.steps_recovered,
                 memo_bytes=cache_stats.bytes_cumulative,
                 memo_clears=cache_stats.clears,
+                memo_evictions=cache_stats.evictions,
             )
         return Measurement(
             workload_name, simulator, elapsed, run.stats.retired, run.stats.cycles

@@ -89,19 +89,28 @@ def _cmd_asm(args: argparse.Namespace) -> int:
 
 
 _RUNNERS = {
-    "golden": lambda p, memo, jit, thr: run_golden(p),
-    "functional": lambda p, memo, jit, thr: run_facile_functional(
-        p, memoized=memo, trace_jit=jit, trace_threshold=thr
+    "golden": lambda p, a: run_golden(p),
+    "functional": lambda p, a: run_facile_functional(
+        p, memoized=not a.plain, trace_jit=a.trace_jit,
+        trace_threshold=a.trace_threshold,
+        cache_limit_bytes=a.cache_limit, cache_evict=a.cache_evict,
     ),
-    "inorder": lambda p, memo, jit, thr: run_facile_inorder(
-        p, memoized=memo, trace_jit=jit, trace_threshold=thr
+    "inorder": lambda p, a: run_facile_inorder(
+        p, memoized=not a.plain, trace_jit=a.trace_jit,
+        trace_threshold=a.trace_threshold,
+        cache_limit_bytes=a.cache_limit, cache_evict=a.cache_evict,
     ),
-    "inorder-ref": lambda p, memo, jit, thr: run_inorder(p),
-    "ooo": lambda p, memo, jit, thr: run_facile_ooo(
-        p, memoized=memo, trace_jit=jit, trace_threshold=thr
+    "inorder-ref": lambda p, a: run_inorder(p),
+    "ooo": lambda p, a: run_facile_ooo(
+        p, memoized=not a.plain, trace_jit=a.trace_jit,
+        trace_threshold=a.trace_threshold,
+        cache_limit_bytes=a.cache_limit, cache_evict=a.cache_evict,
     ),
-    "ooo-ref": lambda p, memo, jit, thr: run_reference(p),
-    "ooo-fastsim": lambda p, memo, jit, thr: run_fastsim(p, memoize=memo),
+    "ooo-ref": lambda p, a: run_reference(p),
+    "ooo-fastsim": lambda p, a: run_fastsim(
+        p, memoize=not a.plain,
+        memo_limit_bytes=a.cache_limit, memo_evict=a.cache_evict,
+    ),
 }
 
 
@@ -136,13 +145,21 @@ def _report_run(kind: str, result, elapsed: float) -> None:
               f"({manager.stats.traces_invalidated} invalidated), "
               f"{agg['steps']:,} steps replayed in {agg['calls']:,} calls, "
               f"{agg['side_exits']:,} side exits")
+    cstats = getattr(getattr(engine, "cache", None), "stats", None) or getattr(
+        result, "mstats", None
+    )
+    if cstats is not None and (cstats.clears or getattr(cstats, "evictions", 0)):
+        print(f"cache: {cstats.clears} clears, "
+              f"{cstats.evictions} eviction rounds "
+              f"({cstats.entries_evicted:,} entries, "
+              f"{cstats.bytes_refunded:,} bytes refunded)")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     program = assemble(open(args.file).read())
     runner = _RUNNERS[args.sim]
     start = time.perf_counter()
-    result = runner(program, not args.plain, args.trace_jit, args.trace_threshold)
+    result = runner(program, args)
     elapsed = time.perf_counter() - start
     _report_run(args.sim, result, elapsed)
     return 0
@@ -174,7 +191,7 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     program = build_cached(args.name, args.scale)
     runner = _RUNNERS[args.sim]
     start = time.perf_counter()
-    result = runner(program, not args.plain, args.trace_jit, args.trace_threshold)
+    result = runner(program, args)
     elapsed = time.perf_counter() - start
     _report_run(args.sim, result, elapsed)
     return 0
@@ -239,6 +256,18 @@ def _add_trace_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--trace-threshold", type=int, default=64, metavar="N",
         help="replays before a chain is promoted to a trace (default 64)",
+    )
+    p.add_argument(
+        "--cache-limit", type=int, default=None, metavar="BYTES",
+        help="action-cache byte budget (default: unlimited, the paper "
+        "uses 256 MB)",
+    )
+    p.add_argument(
+        "--cache-evict", choices=["clear", "generational"],
+        default="generational",
+        help="policy when the budget is exceeded: 'clear' drops the "
+        "whole cache (paper §6.2), 'generational' evicts only the "
+        "coldest entries (default)",
     )
 
 

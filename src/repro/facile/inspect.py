@@ -96,6 +96,9 @@ def cache_summary(cache: ActionCache) -> str:
         f"({n_forks} dynamic result tests, widest fork {max_succ})",
         f"  bytes:            {stats.bytes_current:,} current, "
         f"{stats.bytes_cumulative:,} cumulative",
+        f"  evictions:        {stats.evictions} rounds "
+        f"({stats.entries_evicted} entries evicted, "
+        f"{stats.bytes_refunded:,} bytes refunded)",
         f"  lookups:          {stats.lookups:,} "
         f"({stats.hits:,} hits, {stats.misses_new_key:,} new keys, "
         f"{stats.misses_verify:,} verify misses)",

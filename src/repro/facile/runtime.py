@@ -35,11 +35,25 @@ class SimulationError(Exception):
 
 
 def freeze(value: Any) -> Any:
-    """Deep-convert mutable containers to hashable tuples."""
+    """Deep-convert mutable containers to hashable tuples.
+
+    Dicts become sorted ``(key, frozen_value)`` item-tuples so they can
+    serve as cache keys and verify successor keys; a dict whose keys
+    cannot be ordered is reported here, at the freeze site, instead of
+    surfacing as a bare ``TypeError`` deep inside a cache lookup.
+    """
     if type(value) is int:
         return value
     if isinstance(value, (list, deque, tuple)):
         return tuple(freeze(v) for v in value)
+    if isinstance(value, dict):
+        try:
+            items = sorted(value.items())
+        except TypeError as exc:
+            raise SimulationError(
+                f"cannot freeze dict with unorderable keys for a cache key: {exc}"
+            ) from None
+        return tuple((k, freeze(v)) for k, v in items)
     return value
 
 
@@ -117,13 +131,16 @@ class EndRecord:
 
 
 class CacheEntry:
-    __slots__ = ("key", "first", "complete", "generation", "hot", "trace")
+    __slots__ = ("key", "first", "complete", "generation", "stamp", "hot", "trace")
 
     def __init__(self, key: tuple, generation: int = 0):
         self.key = key
         self.first: object | None = None
         self.complete = False
         self.generation = generation
+        # Age generation for the eviction policy: refreshed on every
+        # hit, compared against ``ActionCache.gen`` when reclaiming.
+        self.stamp = 0
         # Trace-JIT bookkeeping: interpreted-replay count and the
         # compiled Trace (or NO_TRACE sentinel) rooted at this entry.
         self.hot = 0
@@ -141,33 +158,83 @@ class CacheStats:
     hits: int = 0
     misses_new_key: int = 0
     misses_verify: int = 0
+    # Partial-eviction accounting (generational policy).
+    evictions: int = 0
+    entries_evicted: int = 0
+    bytes_refunded: int = 0
+
+
+#: Fixed accounted cost of one cache entry beyond its key.
+ENTRY_OVERHEAD = 24
+
+EVICT_POLICIES = ("clear", "generational")
 
 
 class ActionCache:
-    """The specialized action cache, with optional byte-limited clearing.
+    """The specialized action cache, with byte-limited reclamation.
 
-    ``limit_bytes`` mirrors the paper's 256 MB cap (§6.2): when the
-    accounted size exceeds the limit the whole cache is cleared and
-    recording starts over, "just as when the program starts".
+    ``limit_bytes`` mirrors the paper's 256 MB cap (§6.2).  Two
+    reclamation policies are available once the accounted size exceeds
+    the limit:
+
+    * ``"clear"`` — the paper's policy: drop everything and start
+      recording over, "just as when the program starts";
+    * ``"generational"`` — partial eviction: entries carry an age
+      generation (``stamp``), refreshed on every hit and advanced as
+      recording volume accrues; reclamation evicts the coldest
+      generations first until the accounted size falls below
+      ``low_watermark * limit_bytes``, refunding each evicted entry's
+      bytes exactly (a full walk of its record tree, verify successor
+      chains included).  Hot entries — the working set — survive, so a
+      long-running workload pays no periodic re-record storm.
     """
 
-    def __init__(self, limit_bytes: int | None = None):
+    def __init__(
+        self,
+        limit_bytes: int | None = None,
+        evict_policy: str = "clear",
+        low_watermark: float = 0.5,
+    ):
+        if evict_policy not in EVICT_POLICIES:
+            raise ValueError(f"unknown eviction policy {evict_policy!r}")
         self.limit_bytes = limit_bytes
+        self.evict_policy = evict_policy
+        self.low_watermark = low_watermark
         self.entries: dict[tuple, CacheEntry] = {}
         self.stats = CacheStats()
+        # Identity-link epoch: bumped only by a full clear, compared by
+        # the engine before trusting ``likely_next`` links and compiled
+        # traces.  Evicted entries are marked with generation -1 so
+        # stale links to them are rejected individually.
         self.generation = 0
+        # Age generation for eviction: advanced every ``_gen_step``
+        # recorded bytes (about 8 generations per limit-full) and on
+        # every eviction round.
+        self.gen = 0
+        self._gen_step = max(limit_bytes // 8, 1) if limit_bytes else 0
+        self._since_gen = 0
 
     def lookup(self, key: tuple) -> CacheEntry | None:
         self.stats.lookups += 1
         entry = self.entries.get(key)
         if entry is not None and entry.complete:
             self.stats.hits += 1
+            entry.stamp = self.gen
             return entry
         return None
 
     def create_entry(self, key: tuple) -> CacheEntry:
-        self._charge(value_bytes(key) + 24)
+        stale = self.entries.get(key)
+        if stale is not None:
+            # An interrupted step left an incomplete entry behind (or a
+            # caller is re-recording a key).  Refund its charged bytes
+            # before replacing it, or ``bytes_current`` drifts upward
+            # and triggers spurious reclaims.
+            self._refund(self.entry_bytes(stale))
+            stale.generation = -1
+        self._charge(value_bytes(key) + ENTRY_OVERHEAD)
         entry = CacheEntry(key, self.generation)
+        entry.stamp = self.gen
         self.entries[key] = entry
         self.stats.entries_created += 1
         return entry
@@ -181,18 +248,100 @@ class ActionCache:
         self._charge(cost)
 
     def _charge(self, nbytes: int) -> None:
-        self.stats.bytes_current += nbytes
-        self.stats.bytes_cumulative += nbytes
+        stats = self.stats
+        stats.bytes_current += nbytes
+        stats.bytes_cumulative += nbytes
+        if self._gen_step:
+            self._since_gen += nbytes
+            if self._since_gen >= self._gen_step:
+                self._since_gen -= self._gen_step
+                self.gen += 1
 
-    def maybe_clear(self) -> bool:
-        """Clear everything if over the limit.  Called at step boundaries."""
-        if self.limit_bytes is not None and self.stats.bytes_current > self.limit_bytes:
+    def _refund(self, nbytes: int) -> None:
+        self.stats.bytes_current -= nbytes
+        self.stats.bytes_refunded += nbytes
+
+    # -- accounting ------------------------------------------------------
+
+    @staticmethod
+    def entry_bytes(entry: CacheEntry) -> int:
+        """Exact accounted size of one entry: key + overhead plus every
+        record in its tree, verify successor chains included — the
+        inverse of every charge made while recording it."""
+        total = value_bytes(entry.key) + ENTRY_OVERHEAD
+        stack = [entry.first]
+        while stack:
+            rec = stack.pop()
+            if rec is None:
+                continue
+            total += 12 + value_bytes(rec.data)
+            if rec.is_verify:
+                total += 16
+                stack.extend(rec.succ.values())
+            elif not rec.is_end:
+                stack.append(rec.next)
+        return total
+
+    def recount_bytes(self) -> int:
+        """Recompute ``bytes_current`` from scratch by walking every
+        surviving entry's record tree.  The accounting invariant — and
+        what the tests assert after evictions — is that this always
+        equals ``stats.bytes_current`` exactly."""
+        return sum(self.entry_bytes(e) for e in self.entries.values())
+
+    # -- reclamation -----------------------------------------------------
+
+    def maybe_reclaim(self, pinned=None) -> tuple[bool, list[CacheEntry]] | None:
+        """Reclaim memory if over the limit.  Called at step boundaries.
+
+        Returns ``None`` when under the limit, else ``(cleared,
+        evicted)``: a full clear (``"clear"`` policy) reports ``(True,
+        [])``; generational eviction reports ``(False, entries)`` with
+        the evicted entries, whose traces the caller must invalidate.
+        """
+        if self.limit_bytes is None or self.stats.bytes_current <= self.limit_bytes:
+            return None
+        return self.reclaim(pinned)
+
+    def reclaim(self, pinned=None) -> tuple[bool, list[CacheEntry]]:
+        """Apply the eviction policy unconditionally (see maybe_reclaim)."""
+        if self.evict_policy == "clear":
             self.entries.clear()
             self.stats.bytes_current = 0
             self.stats.clears += 1
             self.generation += 1  # invalidates likely-next links
-            return True
-        return False
+            return True, []
+        return False, self._evict_cold(pinned)
+
+    def _evict_cold(self, pinned=None) -> list[CacheEntry]:
+        """Evict the coldest generations until below the low watermark.
+
+        ``pinned`` (a set-like of ``id(entry)``) holds entries covered
+        by live compiled traces; they are evicted only after every
+        unpinned entry, so the trace tier's working set survives
+        whenever the watermark allows it.
+        """
+        target = int((self.limit_bytes or 0) * self.low_watermark)
+        if pinned:
+            order = sorted(
+                self.entries.values(), key=lambda e: (id(e) in pinned, e.stamp)
+            )
+        else:
+            order = sorted(self.entries.values(), key=lambda e: e.stamp)
+        stats = self.stats
+        evicted: list[CacheEntry] = []
+        for entry in order:
+            if stats.bytes_current <= target:
+                break
+            del self.entries[entry.key]
+            entry.generation = -1  # rejects stale likely-next links
+            self._refund(self.entry_bytes(entry))
+            evicted.append(entry)
+        stats.evictions += 1
+        stats.entries_evicted += len(evicted)
+        self.gen += 1
+        self._since_gen = 0
+        return evicted
 
 
 # ---------------------------------------------------------------------------
@@ -468,6 +617,16 @@ class Memoizer:
             raise SimulationError("recovery stack underflow")
         value = self._rstack.popleft()
         cur = self._cursor
+        if cur is None or not cur.is_verify:
+            where = (
+                "the end of the recorded chain"
+                if cur is None or cur.is_end
+                else f"action {cur.num}"
+            )
+            raise SimulationError(
+                f"recovery desync: dynamic result fed back at {where}, "
+                "not at a verify record"
+            )
         if self._rstack:
             nxt = cur.succ.get(value)
             if nxt is None:
@@ -560,6 +719,8 @@ class FastForwardEngine:
         compiled: CompiledSimulator,
         ctx: SimContext,
         cache_limit_bytes: int | None = None,
+        cache_evict: str = "clear",
+        cache_low_watermark: float = 0.5,
         index_links: bool = True,
         trace_jit: bool = True,
         trace_threshold: int = 64,
@@ -568,7 +729,11 @@ class FastForwardEngine:
 
         self.compiled = compiled
         self.ctx = ctx
-        self.cache = ActionCache(limit_bytes=cache_limit_bytes)
+        self.cache = ActionCache(
+            limit_bytes=cache_limit_bytes,
+            evict_policy=cache_evict,
+            low_watermark=cache_low_watermark,
+        )
         self.memoizer = Memoizer(self.cache)
         self.stats = RunStats()
         # The paper's INDEX_ACTION chaining; disable to force a full
@@ -624,6 +789,13 @@ class FastForwardEngine:
         cstats = cache.stats
         stats = self.stats
         index_links = self.index_links
+        # Identity-based link trust is only sound when the init slot
+        # always holds frozen (immutable, identity-stable) values: a
+        # mutable value mutated in place passes the ``is`` check with
+        # stale contents.  Simulators without a flushed init fall back
+        # to comparing frozen keys on the cached link.
+        id_links = self.compiled.init_flushed
+        limit = cache.limit_bytes
         generation = cache.generation
         # Trace tier state.  Profiling needs per-action attribution, so
         # it forces the interpreter (see profile()).
@@ -634,18 +806,24 @@ class FastForwardEngine:
         while not ctx.halted and (max_steps is None or steps < max_steps):
             raw = S[init_slot]
             entry = None
+            key = None
             if last_end is not None and index_links:
                 cached = last_end.likely_next
-                if (
-                    cached is not None
-                    and cached[0] is raw
-                    and cached[1].generation == generation
-                ):
-                    entry = cached[1]
-                    cstats.lookups += 1
-                    cstats.hits += 1
+                if cached is not None and cached[1].generation == generation:
+                    if id_links:
+                        if cached[0] is raw:
+                            entry = cached[1]
+                    else:
+                        key = self._freeze_key(raw)
+                        if cached[1].key == key:
+                            entry = cached[1]
+                    if entry is not None:
+                        cstats.lookups += 1
+                        cstats.hits += 1
+                        entry.stamp = cache.gen
             if entry is None:
-                key = self._freeze_key(raw)
+                if key is None:
+                    key = self._freeze_key(raw)
                 entry = cache.lookup(key)
                 if entry is not None and last_end is not None:
                     last_end.likely_next = (raw, entry)
@@ -707,11 +885,19 @@ class FastForwardEngine:
                             entry.hot = hot
                             if hot >= threshold:
                                 traces.promote(entry, stats.steps_total)
-            if cache.maybe_clear():
-                last_end = None
-                generation = cache.generation
-                if traces is not None:
-                    traces.on_cache_clear()
+            if limit is not None and cstats.bytes_current > limit:
+                cleared, evicted = cache.reclaim(
+                    pinned=traces.covered_ids() if traces is not None else None
+                )
+                if cleared:
+                    last_end = None
+                    generation = cache.generation
+                    if traces is not None:
+                        traces.on_cache_clear()
+                elif evicted and traces is not None:
+                    # Partial eviction: only traces covering an evicted
+                    # entry become stale; everything else stays live.
+                    traces.on_evict(evicted)
         return self.stats
 
     # -- slow path -------------------------------------------------------

@@ -44,6 +44,7 @@ def run_facile_functional(
     memoized: bool = True,
     max_steps: int = 1_000_000,
     cache_limit_bytes: int | None = None,
+    cache_evict: str = "clear",
     trace_jit: bool = True,
     trace_threshold: int = 64,
 ) -> FunctionalRun:
@@ -53,6 +54,7 @@ def run_facile_functional(
     if memoized:
         engine = FastForwardEngine(
             compiled, ctx, cache_limit_bytes=cache_limit_bytes,
+            cache_evict=cache_evict,
             trace_jit=trace_jit, trace_threshold=trace_threshold,
         )
     else:

@@ -187,7 +187,9 @@ class InOrderRun:
 class FacileInOrderSim:
     def __init__(self, program: Program, config: C.MachineConfig | None = None,
                  memoized: bool = True, trace_jit: bool = True,
-                 trace_threshold: int = 64):
+                 trace_threshold: int = 64,
+                 cache_limit_bytes: int | None = None,
+                 cache_evict: str = "clear"):
         self.config = config or C.MachineConfig()
         self.program = program
         self.compiled = compiled_inorder_sim(self.config).simulator
@@ -202,6 +204,8 @@ class FacileInOrderSim:
         if memoized:
             self.engine = FastForwardEngine(
                 self.compiled, self.ctx,
+                cache_limit_bytes=cache_limit_bytes,
+                cache_evict=cache_evict,
                 trace_jit=trace_jit, trace_threshold=trace_threshold,
             )
         else:
@@ -241,8 +245,10 @@ class FacileInOrderSim:
 def run_facile_inorder(
     program: Program, config: C.MachineConfig | None = None, memoized: bool = True,
     trace_jit: bool = True, trace_threshold: int = 64,
+    cache_limit_bytes: int | None = None, cache_evict: str = "clear",
 ) -> InOrderRun:
     return FacileInOrderSim(
         program, config, memoized=memoized,
         trace_jit=trace_jit, trace_threshold=trace_threshold,
+        cache_limit_bytes=cache_limit_bytes, cache_evict=cache_evict,
     ).run()

@@ -53,15 +53,21 @@ CHECK_KINDS = frozenset((EV_CACHE, EV_BPRED, EV_BIND))
 
 class _Node:
     """A run of non-test events ending in either a dynamic result test
-    (with per-value successor nodes) or the next cycle's key."""
+    (with per-value successor nodes) or the next cycle's key.
 
-    __slots__ = ("events", "check", "succ", "next_key")
+    ``stamp`` and ``nbytes`` are meaningful on root nodes only: the age
+    generation of the entry (for generational eviction) and the exact
+    bytes charged against it (for the eviction refund)."""
+
+    __slots__ = ("events", "check", "succ", "next_key", "stamp", "nbytes")
 
     def __init__(self) -> None:
         self.events: list[tuple] = []
         self.check: tuple | None = None
         self.succ: dict = {}
         self.next_key: tuple | None = None
+        self.stamp = 0
+        self.nbytes = 0
 
 
 @dataclass
@@ -76,6 +82,9 @@ class MemoStats:
     misses_check: int = 0
     bytes_estimate: int = 0
     clears: int = 0
+    evictions: int = 0
+    entries_evicted: int = 0
+    bytes_refunded: int = 0
 
 
 @dataclass
@@ -98,9 +107,13 @@ class FastSimOoo:
         config: C.MachineConfig | None = None,
         memoize: bool = True,
         memo_limit_bytes: int | None = None,
+        memo_evict: str = "clear",
+        memo_low_watermark: float = 0.5,
         cache=None,
         predictor=None,
     ):
+        if memo_evict not in ("clear", "generational"):
+            raise ValueError(f"unknown eviction policy {memo_evict!r}")
         self.config = config or C.MachineConfig()
         default_cache, default_pred = C.default_uarch(self.config)
         self.cache = cache if cache is not None else default_cache
@@ -114,10 +127,18 @@ class FastSimOoo:
         self.memoize = memoize
         self.memo: dict[tuple, _Node] = {}
         self.memo_limit_bytes = memo_limit_bytes
+        self.memo_evict = memo_evict
+        self.memo_low_watermark = memo_low_watermark
         self.mstats = MemoStats()
         self.retired_fast = 0
         self._decode_cache: dict[int, S.Decoded] = {}
         self._pending_retire = 0
+        # Age generation for eviction (mirrors ActionCache.gen).
+        self.gen = 0
+        self._gen_step = (
+            max(memo_limit_bytes // 8, 1) if memo_limit_bytes else 0
+        )
+        self._since_gen = 0
 
     # -- key handling ----------------------------------------------------------
 
@@ -175,24 +196,74 @@ class FastSimOoo:
                 self.mstats.cycles_slow += 1
                 self._materialize(key)
                 root = _Node()
+                root.stamp = self.gen
                 self.memo[key] = root
                 self.mstats.entries += 1
-                self.mstats.bytes_estimate += 8 * (8 + 6 * len(key[0]) + 33)
+                self._bill(root, 8 * (8 + 6 * len(key[0]) + 33))
                 key = self._slow_cycle(record=True, root=root)
             else:
+                node.stamp = self.gen
                 key = self._replay(key, node)
-            self._maybe_clear()
+            self._maybe_reclaim()
         self._materialize(key)
         return self.stats
 
-    def _maybe_clear(self) -> None:
+    # -- memo accounting / reclamation ----------------------------------------
+
+    def _bill(self, root: _Node, nbytes: int) -> None:
+        """Charge ``nbytes`` to the memo table and to ``root``'s entry,
+        so eviction can refund the entry's exact accounted size."""
+        self.mstats.bytes_estimate += nbytes
+        root.nbytes += nbytes
+        if self._gen_step:
+            self._since_gen += nbytes
+            if self._since_gen >= self._gen_step:
+                self._since_gen -= self._gen_step
+                self.gen += 1
+
+    def recount_bytes(self) -> int:
+        """Recompute ``bytes_estimate`` by walking every surviving
+        entry's node tree (events, checks, recovery-attached forks) —
+        the leak-free-accounting invariant asserted by the tests."""
+        total = 0
+        for key, root in self.memo.items():
+            total += 8 * (8 + 6 * len(key[0]) + 33)
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                total += sum(16 + 8 * len(ev) for ev in node.events)
+                if node.check is not None:
+                    # _check charges 64 (test + first successor); each
+                    # fork attached during recovery charges 48 more.
+                    total += 64 + 48 * (len(node.succ) - 1)
+                stack.extend(node.succ.values())
+        return total
+
+    def _maybe_reclaim(self) -> None:
         if (
-            self.memo_limit_bytes is not None
-            and self.mstats.bytes_estimate > self.memo_limit_bytes
+            self.memo_limit_bytes is None
+            or self.mstats.bytes_estimate <= self.memo_limit_bytes
         ):
+            return
+        if self.memo_evict == "clear":
             self.memo.clear()
             self.mstats.bytes_estimate = 0
             self.mstats.clears += 1
+            return
+        # Generational partial eviction: drop the coldest entries until
+        # below the low watermark, refunding their exact charged bytes.
+        target = int(self.memo_limit_bytes * self.memo_low_watermark)
+        mstats = self.mstats
+        for key, root in sorted(self.memo.items(), key=lambda kv: kv[1].stamp):
+            if mstats.bytes_estimate <= target:
+                break
+            del self.memo[key]
+            mstats.bytes_estimate -= root.nbytes
+            mstats.bytes_refunded += root.nbytes
+            mstats.entries_evicted += 1
+        mstats.evictions += 1
+        self.gen += 1
+        self._since_gen = 0
 
     # -- fast replay ----------------------------------------------------------------
 
@@ -419,6 +490,7 @@ class _Recorder:
         self.record = record
         self.recovery = recovery or []
         self.rix = 0
+        self.root = root
         self.node = root
         self.on_tree = bool(self.recovery)  # walking existing records?
 
@@ -442,7 +514,7 @@ class _Recorder:
                 self.node.succ[value] = fresh
                 self.node = fresh
                 self.on_tree = False
-                self.sim.mstats.bytes_estimate += 48
+                self.sim._bill(self.root, 48)
             else:
                 self.node = nxt
         return value
@@ -567,7 +639,7 @@ class _Recorder:
             return
         self.node.events.append(event)
         self.sim.mstats.events_recorded += 1
-        self.sim.mstats.bytes_estimate += 16 + 8 * len(event)
+        self.sim._bill(self.root, 16 + 8 * len(event))
 
     def _check(self, check: tuple, value) -> None:
         if not self.record:
@@ -577,7 +649,7 @@ class _Recorder:
         self.node.succ[value] = fresh
         self.node = fresh
         self.sim.mstats.events_recorded += 1
-        self.sim.mstats.bytes_estimate += 64
+        self.sim._bill(self.root, 64)
 
     def finish(self, next_key: tuple) -> None:
         if self.record:
@@ -590,7 +662,14 @@ def run_fastsim(
     memoize: bool = True,
     max_cycles: int = 10_000_000,
     memo_limit_bytes: int | None = None,
+    memo_evict: str = "clear",
 ) -> FastSimOoo:
-    sim = FastSimOoo(program, config, memoize=memoize, memo_limit_bytes=memo_limit_bytes)
+    sim = FastSimOoo(
+        program,
+        config,
+        memoize=memoize,
+        memo_limit_bytes=memo_limit_bytes,
+        memo_evict=memo_evict,
+    )
     sim.run(max_cycles)
     return sim

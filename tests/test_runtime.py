@@ -137,7 +137,8 @@ class TestActionCache:
         cache = ActionCache(limit_bytes=50)
         entry = cache.create_entry((1,) * 32)
         entry.complete = True
-        assert cache.maybe_clear()
+        cleared, evicted = cache.maybe_reclaim()
+        assert cleared and not evicted
         assert cache.lookup((1,) * 32) is None
         assert cache.stats.clears == 1
         assert cache.stats.bytes_current == 0
@@ -146,13 +147,14 @@ class TestActionCache:
         cache = ActionCache(limit_bytes=50)
         cache.create_entry((1,) * 32)
         total = cache.stats.bytes_cumulative
-        cache.maybe_clear()
+        cache.maybe_reclaim()
         assert cache.stats.bytes_cumulative == total
 
     def test_no_limit_never_clears(self):
         cache = ActionCache()
         cache.create_entry((1,) * 1000)
-        assert not cache.maybe_clear()
+        assert cache.maybe_reclaim() is None
+        assert cache.stats.clears == 0
 
 
 # -- memoizer recording protocol ----------------------------------------------------
