@@ -97,7 +97,11 @@ def main(argv=None) -> int:
         help="small scale, skip wall-clock assertions (CI gate: the "
         "cycle/steps_slow/accounting contracts still fail hard)",
     )
+    parser.add_argument(
+        "--quick", action="store_true", help="alias for --smoke",
+    )
     args = parser.parse_args(argv)
+    args.smoke = args.smoke or args.quick
 
     scale = args.scale if args.scale is not None else (2 if args.smoke else None)
     program = build_cached(args.workload, scale)

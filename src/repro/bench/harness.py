@@ -65,6 +65,8 @@ def measure(
     cache_limit_bytes: int | None = None,
     cache_evict: str = "clear",
     max_cycles: int = 200_000_000,
+    trace_jit: bool = True,
+    flat_pack: bool = True,
 ) -> Measurement:
     """Run `program` to completion on the named simulator configuration."""
     start = time.perf_counter()
@@ -83,6 +85,7 @@ def measure(
             max_cycles=max_cycles,
             memo_limit_bytes=cache_limit_bytes,
             memo_evict=cache_evict,
+            flat_pack=flat_pack,
         )
         elapsed = time.perf_counter() - start
         return Measurement(
@@ -98,6 +101,11 @@ def measure(
             memo_bytes=sim.mstats.bytes_estimate,
             memo_clears=sim.mstats.clears,
             memo_evictions=sim.mstats.evictions,
+            extra={
+                "packs": sim.mstats.packs,
+                "unpacks": sim.mstats.unpacks,
+                "pool_bytes_saved": sim.pool.bytes_saved,
+            } if memoize else {},
         )
     if simulator in ("facile", "facile-nomemo"):
         memoized = simulator == "facile"
@@ -108,10 +116,13 @@ def measure(
             max_steps=max_cycles,
             cache_limit_bytes=cache_limit_bytes,
             cache_evict=cache_evict,
+            trace_jit=trace_jit,
+            flat_pack=flat_pack,
         )
         elapsed = time.perf_counter() - start
         if memoized:
-            cache_stats = run.engine.cache.stats
+            cache = run.engine.cache
+            cache_stats = cache.stats
             return Measurement(
                 workload_name,
                 simulator,
@@ -125,6 +136,12 @@ def measure(
                 memo_bytes=cache_stats.bytes_cumulative,
                 memo_clears=cache_stats.clears,
                 memo_evictions=cache_stats.evictions,
+                extra={
+                    "bytes_current": cache_stats.bytes_current,
+                    "packs": cache_stats.packs,
+                    "unpacks": cache_stats.unpacks,
+                    "pool_bytes_saved": cache.pool.bytes_saved,
+                },
             )
         return Measurement(
             workload_name, simulator, elapsed, run.stats.retired, run.stats.cycles

@@ -94,22 +94,26 @@ _RUNNERS = {
         p, memoized=not a.plain, trace_jit=a.trace_jit,
         trace_threshold=a.trace_threshold,
         cache_limit_bytes=a.cache_limit, cache_evict=a.cache_evict,
+        flat_pack=a.flat_pack,
     ),
     "inorder": lambda p, a: run_facile_inorder(
         p, memoized=not a.plain, trace_jit=a.trace_jit,
         trace_threshold=a.trace_threshold,
         cache_limit_bytes=a.cache_limit, cache_evict=a.cache_evict,
+        flat_pack=a.flat_pack,
     ),
     "inorder-ref": lambda p, a: run_inorder(p),
     "ooo": lambda p, a: run_facile_ooo(
         p, memoized=not a.plain, trace_jit=a.trace_jit,
         trace_threshold=a.trace_threshold,
         cache_limit_bytes=a.cache_limit, cache_evict=a.cache_evict,
+        flat_pack=a.flat_pack,
     ),
     "ooo-ref": lambda p, a: run_reference(p),
     "ooo-fastsim": lambda p, a: run_fastsim(
         p, memoize=not a.plain,
         memo_limit_bytes=a.cache_limit, memo_evict=a.cache_evict,
+        flat_pack=a.flat_pack,
     ),
 }
 
@@ -153,6 +157,18 @@ def _report_run(kind: str, result, elapsed: float) -> None:
               f"{cstats.evictions} eviction rounds "
               f"({cstats.entries_evicted:,} entries, "
               f"{cstats.bytes_refunded:,} bytes refunded)")
+    if cstats is not None and getattr(cstats, "packs", 0):
+        pool = getattr(getattr(engine, "cache", None), "pool", None) or getattr(
+            result, "pool", None
+        )
+        line = (f"flat pack: {cstats.packs:,} packs, "
+                f"{cstats.unpacks:,} unpacks")
+        if pool is not None:
+            hit_rate = 100 * pool.hits / max(1, pool.hits + pool.misses)
+            line += (f"; intern pool {pool.bytes_live:,} bytes live, "
+                     f"{hit_rate:.1f}% hit rate, "
+                     f"{pool.bytes_saved:,} bytes saved")
+        print(line)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -268,6 +284,12 @@ def _add_trace_flags(p: argparse.ArgumentParser) -> None:
         help="policy when the budget is exceeded: 'clear' drops the "
         "whole cache (paper §6.2), 'generational' evicts only the "
         "coldest entries (default)",
+    )
+    p.add_argument(
+        "--no-flat-pack", dest="flat_pack", action="store_false",
+        default=True,
+        help="keep completed cache entries as linked record objects "
+        "instead of flat-packing them into contiguous streams",
     )
 
 

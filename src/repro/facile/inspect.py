@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from .bta import DYNAMIC
 from .compiler import CompilationResult
-from .runtime import ActionCache, CacheEntry
+from .runtime import ActionCache, CacheEntry, entry_first_record
 
 
 def explain_division(result: CompilationResult) -> str:
@@ -51,9 +51,13 @@ def explain_division(result: CompilationResult) -> str:
 
 
 def dump_entry(entry: CacheEntry, max_depth: int = 200) -> str:
-    """Render one specialized-action-cache entry as a tree (Figure 3)."""
-    lines = [f"entry key={_short(entry.key)} complete={entry.complete}"]
-    _dump_chain(entry.first, lines, indent=1, budget=[max_depth])
+    """Render one specialized-action-cache entry as a tree (Figure 3).
+
+    Flat-packed entries are transiently reconstructed into record form
+    for rendering (no accounting side effects)."""
+    packed = " packed" if entry.packed is not None else ""
+    lines = [f"entry key={_short(entry.key)} complete={entry.complete}{packed}"]
+    _dump_chain(entry_first_record(entry), lines, indent=1, budget=[max_depth])
     return "\n".join(lines)
 
 
@@ -103,12 +107,25 @@ def cache_summary(cache: ActionCache) -> str:
         f"({stats.hits:,} hits, {stats.misses_new_key:,} new keys, "
         f"{stats.misses_verify:,} verify misses)",
     ]
+    if cache.flat_pack:
+        pool = cache.pool
+        n_packed = sum(1 for e in cache.entries.values() if e.packed is not None)
+        pack_ratio = n_packed / max(1, len(cache.entries))
+        hit_rate = 100 * pool.hits / max(1, pool.hits + pool.misses)
+        lines += [
+            f"  flat pack:        {n_packed}/{len(cache.entries)} entries packed "
+            f"({100 * pack_ratio:.1f}%, {stats.packs} packs, "
+            f"{stats.unpacks} unpacks)",
+            f"  intern pool:      {pool.live_values():,} values, "
+            f"{pool.bytes_live:,} bytes live, {hit_rate:.1f}% hit rate, "
+            f"{pool.bytes_saved:,} bytes saved",
+        ]
     return "\n".join(lines)
 
 
 def _walk_records(entry: CacheEntry):
     seen = set()
-    stack = [entry.first]
+    stack = [entry_first_record(entry)]
     while stack:
         rec = stack.pop()
         if rec is None or id(rec) in seen:

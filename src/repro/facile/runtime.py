@@ -20,6 +20,7 @@ simulator:
 
 from __future__ import annotations
 
+from array import array
 from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -34,18 +35,25 @@ class SimulationError(Exception):
 # ---------------------------------------------------------------------------
 
 
-def freeze(value: Any) -> Any:
-    """Deep-convert mutable containers to hashable tuples.
+class _DictTag:
+    """Sentinel heading a frozen dict, so :func:`thaw` can restore it."""
 
-    Dicts become sorted ``(key, frozen_value)`` item-tuples so they can
-    serve as cache keys and verify successor keys; a dict whose keys
-    cannot be ordered is reported here, at the freeze site, instead of
-    surfacing as a bare ``TypeError`` deep inside a cache lookup.
-    """
-    if type(value) is int:
-        return value
-    if isinstance(value, (list, deque, tuple)):
-        return tuple(freeze(v) for v in value)
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<frozen-dict>"
+
+
+#: First element of every frozen dict: ``freeze({..})`` yields
+#: ``(DICT_TAG, (k1, v1), (k2, v2), ...)`` with sorted keys, and
+#: ``thaw`` rebuilds a dict instead of a list of pairs.
+DICT_TAG = _DictTag()
+
+_CONTAINERS = (list, deque, tuple, dict)
+
+
+def _freeze_frame(value: Any) -> list:
+    """One work-stack frame for :func:`freeze`: [children, out, keys]."""
     if isinstance(value, dict):
         try:
             items = sorted(value.items())
@@ -53,15 +61,77 @@ def freeze(value: Any) -> Any:
             raise SimulationError(
                 f"cannot freeze dict with unorderable keys for a cache key: {exc}"
             ) from None
-        return tuple((k, freeze(v)) for k, v in items)
-    return value
+        return [[v for _, v in items], [], [k for k, _ in items]]
+    return [list(value), [], None]
+
+
+def freeze(value: Any) -> Any:
+    """Deep-convert mutable containers to hashable tuples.
+
+    Dicts become ``(DICT_TAG, (key, frozen_value), ...)`` with sorted
+    items so they can serve as cache keys and verify successor keys (the
+    tag lets :func:`thaw` restore a dict, not a list of pairs); a dict
+    whose keys cannot be ordered is reported here, at the freeze site,
+    instead of surfacing as a bare ``TypeError`` deep inside a cache
+    lookup.  The conversion runs on an explicit work stack, so deeply
+    nested rt-static structures cannot hit Python's recursion limit
+    mid-record.
+    """
+    if type(value) is int:
+        return value
+    if not isinstance(value, _CONTAINERS):
+        return value
+    stack = [_freeze_frame(value)]
+    while True:
+        children, out, keys = stack[-1]
+        i = len(out)
+        if i == len(children):
+            if keys is None:
+                result: Any = tuple(out)
+            else:
+                result = (DICT_TAG,) + tuple(zip(keys, out))
+            stack.pop()
+            if not stack:
+                return result
+            stack[-1][1].append(result)
+            continue
+        child = children[i]
+        if type(child) is int or not isinstance(child, _CONTAINERS):
+            out.append(child)
+        else:
+            stack.append(_freeze_frame(child))
+
+
+def _thaw_frame(value: tuple) -> list:
+    """One work-stack frame for :func:`thaw`: [children, out, keys]."""
+    if value and value[0] is DICT_TAG:
+        items = value[1:]
+        return [[v for _, v in items], [], [k for k, _ in items]]
+    return [list(value), [], None]
 
 
 def thaw(value: Any) -> Any:
-    """Deep-convert tuples back to mutable lists (inverse of freeze)."""
-    if isinstance(value, tuple):
-        return [thaw(v) for v in value]
-    return value
+    """Deep-convert frozen tuples back to mutable form (inverse of
+    :func:`freeze`): tagged dict freezes become dicts again, plain
+    tuples become lists.  Iterative, like ``freeze``."""
+    if not isinstance(value, tuple):
+        return value
+    stack = [_thaw_frame(value)]
+    while True:
+        children, out, keys = stack[-1]
+        i = len(out)
+        if i == len(children):
+            result: Any = out if keys is None else dict(zip(keys, out))
+            stack.pop()
+            if not stack:
+                return result
+            stack[-1][1].append(result)
+            continue
+        child = children[i]
+        if isinstance(child, tuple):
+            stack.append(_thaw_frame(child))
+        else:
+            out.append(child)
 
 
 def value_bytes(value: Any) -> int:
@@ -71,10 +141,122 @@ def value_bytes(value: Any) -> int:
     for containers (the paper's example compresses an instruction queue
     into "fewer than 40 bytes"; our accounting is similarly structural,
     not Python ``sys.getsizeof``, so Table 2 is comparable in spirit).
+    Iterative (explicit stack) for the same recursion-limit reason as
+    :func:`freeze`.
     """
-    if isinstance(value, tuple):
-        return 8 + sum(value_bytes(v) for v in value)
-    return 8
+    if not isinstance(value, tuple):
+        return 8
+    total = 8
+    stack = list(value)
+    while stack:
+        v = stack.pop()
+        total += 8
+        if isinstance(v, tuple):
+            stack.extend(v)
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Placeholder-data interning pool
+# ---------------------------------------------------------------------------
+
+
+#: Accounted overhead of one live pool value (index + refcount lane).
+POOL_SLOT_BYTES = 8
+
+
+class InternPool:
+    """Process-wide interning pool for recorded placeholder data.
+
+    Flat-packed entries do not store their data tuples inline: each
+    packed slot holds an index into this pool, and equal values —
+    however many records across however many entries reference them —
+    are stored **once** and billed once.  The pool is reference-counted
+    so eviction stays exact: :meth:`release` returns the refunded bytes
+    when (and only when) the last reference dies.
+
+    Keys are compared by equality, like the verify successor dicts they
+    feed, so ``True``/``1`` conflate — harmless, since every consumer
+    already compares these values with ``==``.
+    """
+
+    __slots__ = (
+        "_index", "values", "_refs", "_costs", "_free",
+        "hits", "misses", "bytes_live", "bytes_saved",
+    )
+
+    def __init__(self) -> None:
+        self._index: dict[Any, int] = {}
+        self.values: list[Any] = []
+        self._refs: list[int] = []
+        self._costs: list[int] = []
+        self._free: list[int] = []
+        self.hits = 0
+        self.misses = 0
+        self.bytes_live = 0
+        self.bytes_saved = 0
+
+    def intern(self, value: Any) -> tuple[int, int]:
+        """Return ``(index, charged_bytes)`` for one more reference to
+        ``value``; ``charged_bytes`` is 0 when the value was already
+        pooled (the accounting win interning exists for)."""
+        idx = self._index.get(value)
+        if idx is not None:
+            self._refs[idx] += 1
+            self.hits += 1
+            self.bytes_saved += self._costs[idx]
+            return idx, 0
+        self.misses += 1
+        cost = POOL_SLOT_BYTES + value_bytes(value)
+        if self._free:
+            idx = self._free.pop()
+            self.values[idx] = value
+            self._refs[idx] = 1
+            self._costs[idx] = cost
+        else:
+            idx = len(self.values)
+            self.values.append(value)
+            self._refs.append(1)
+            self._costs.append(cost)
+        self._index[value] = idx
+        self.bytes_live += cost
+        return idx, cost
+
+    def release(self, idx: int) -> int:
+        """Drop one reference; returns the bytes freed (0 unless this
+        was the last reference)."""
+        refs = self._refs[idx] - 1
+        self._refs[idx] = refs
+        if refs:
+            return 0
+        cost = self._costs[idx]
+        del self._index[self.values[idx]]
+        self.values[idx] = None
+        self._costs[idx] = 0
+        self._free.append(idx)
+        self.bytes_live -= cost
+        return cost
+
+    def live_values(self) -> int:
+        return len(self._index)
+
+    def recount(self) -> int:
+        """Recompute ``bytes_live`` from scratch (accounting audits)."""
+        return sum(
+            POOL_SLOT_BYTES + value_bytes(self.values[i])
+            for i in range(len(self.values))
+            if self._refs[i] > 0
+        )
+
+    def clear(self) -> None:
+        """Drop every value (a full cache clear kills all references).
+        Cumulative hit/miss/saved counters survive; live state resets."""
+        self._index.clear()
+        self.values.clear()
+        self._refs.clear()
+        self._costs.clear()
+        self._free.clear()
+        self.bytes_live = 0
 
 
 # ---------------------------------------------------------------------------
@@ -130,12 +312,233 @@ class EndRecord:
     data = ()
 
 
+# ---------------------------------------------------------------------------
+# Flat-packed entries: parallel index streams instead of object trees
+# ---------------------------------------------------------------------------
+
+
+#: ``nums`` value marking an end-of-step slot.  Far outside the action
+#: number range, and distinct from every ``~num`` verify encoding.
+ENDMARK = -(1 << 62)
+
+#: Accounted cost of one packed slot.  The streams model the paper's C
+#: layout — a 4-byte action number, 4-byte pool index, and 4-byte
+#: successor lane — mirroring the 12-byte record header of the unpacked
+#: form with the next-pointer replaced by contiguity.  (The Python
+#: ``array('q')`` backing spends 8 bytes per lane; the accounting, like
+#: ``value_bytes``, models the compact layout, not CPython overhead.)
+PACKED_SLOT_BYTES = 12
+#: Accounted cost of one multi-successor jump table, plus one entry per
+#: recorded successor value (value ref + target slot).
+PACKED_TABLE_OVERHEAD = 16
+PACKED_JUMP_BYTES = 8
+
+
+class PackedChain:
+    """One complete entry's record tree, flat-packed (the tentpole).
+
+    Parallel streams, one slot per record, laid out so every
+    straight-line run is contiguous:
+
+    * ``nums[i]``  — action number: ``num`` (>= 0) for a plain action,
+      ``~num`` (< 0) for a dynamic result test, :data:`ENDMARK` for a
+      step boundary;
+    * ``data[i]``  — :class:`InternPool` index of the record's
+      placeholder data (-1 for end slots);
+    * ``succ[i]``  — successor lane.  Plain actions fall through to
+      ``i + 1`` (unused, 0).  A verify with one recorded successor holds
+      the pool index of the expected value and falls through on match —
+      the overwhelmingly common case costs one ``==`` and no dict.  A
+      verify with several successors holds ``~t`` where ``tables[t]``
+      maps observed value -> jump slot.  End slots hold an index into
+      ``ends``, which keeps the original :class:`EndRecord` objects so
+      ``likely_next`` links survive pack/unpack by identity.
+
+    ``knums``/``datavals``/``sux`` are the *replay view*: the canonical
+    streams with their pool indices resolved once at pack time, so the
+    hot loop never touches the pool.  ``knums`` mirrors ``nums`` as a
+    plain list (list indexing skips the array's per-read boxing);
+    ``datavals[i]`` is the pooled placeholder value itself; ``sux[i]``
+    is None for plain actions, a one-entry fall-through dict
+    ``{expected: i + 1}`` or the shared jump table for verifies, and
+    the :class:`EndRecord` for end slots.  Every reference in the view
+    aliases a pooled value or a canonical-lane object, so it carries no
+    accounted bytes of its own — accounting, release, and unpack all
+    read the canonical ``data``/``succ`` streams.
+
+    ``n_records``/``depth`` cache the tree shape (record count, max
+    multi-successor nesting) for the trace compiler; ``local_bytes`` is
+    the entry-local accounted size (slots + jump tables), excluding the
+    shared pool bytes.
+    """
+
+    __slots__ = (
+        "nums", "data", "succ", "tables", "ends", "pool",
+        "knums", "datavals", "sux",
+        "n_records", "depth", "local_bytes",
+    )
+
+
+def _pack_records(first, pool: InternPool) -> tuple[PackedChain, int]:
+    """Flatten a complete record tree into a :class:`PackedChain`.
+
+    Returns ``(chain, pool_charged)`` where ``pool_charged`` counts the
+    bytes newly charged to the interning pool (first references only).
+    """
+    nums = array("q")
+    data = array("q")
+    succ = array("q")
+    datavals: list = []
+    sux: list = []
+    tables: list[dict] = []
+    ends: list[EndRecord] = []
+    pool_charged = 0
+    n_records = 0
+    depth_max = 0
+    intern = pool.intern
+    values = pool.values
+    # (record, jump table index or -1, table key, multi-succ depth)
+    pending: deque = deque([(first, -1, None, 0)])
+    while pending:
+        rec, t, val, depth = pending.popleft()
+        if t >= 0:
+            tables[t][val] = len(nums)
+        while True:
+            if rec is None:
+                raise SimulationError(
+                    "cannot pack: recorded chain ended without an end marker"
+                )
+            if rec.is_end:
+                nums.append(ENDMARK)
+                data.append(-1)
+                succ.append(len(ends))
+                ends.append(rec)
+                datavals.append(None)
+                sux.append(rec)
+                break
+            n_records += 1
+            idx, charged = intern(rec.data)
+            pool_charged += charged
+            if not rec.is_verify:
+                nums.append(rec.num)
+                data.append(idx)
+                succ.append(0)
+                datavals.append(values[idx])
+                sux.append(None)
+                rec = rec.next
+                continue
+            sd = rec.succ
+            if len(sd) == 1:
+                ((value, nxt),) = sd.items()
+                vidx, charged = intern(value)
+                pool_charged += charged
+                nums.append(~rec.num)
+                data.append(idx)
+                succ.append(vidx)
+                datavals.append(values[idx])
+                # Replay view: the pooled expected value itself; match
+                # falls through on ``==`` with no dict probe.  Frozen
+                # values are never dicts (freeze converts them to
+                # DICT_TAG tuples), so the replay loop can discriminate
+                # this from a jump table by class.
+                sux.append(values[vidx])
+                rec = nxt
+                continue
+            depth += 1
+            if depth > depth_max:
+                depth_max = depth
+            t2 = len(tables)
+            table: dict = {}
+            tables.append(table)
+            nums.append(~rec.num)
+            data.append(idx)
+            succ.append(~t2)
+            datavals.append(values[idx])
+            # The shared table object: BFS fills it as successors are
+            # laid out, and the replay view sees the same dict.
+            sux.append(table)
+            for value, nxt in sd.items():
+                pending.append((nxt, t2, value, depth))
+            break
+    chain = PackedChain()
+    chain.nums = nums
+    chain.data = data
+    chain.succ = succ
+    chain.tables = tables
+    chain.ends = ends
+    chain.pool = pool
+    chain.knums = nums.tolist()
+    chain.datavals = datavals
+    chain.sux = sux
+    chain.n_records = n_records
+    chain.depth = depth_max
+    chain.local_bytes = PACKED_SLOT_BYTES * len(nums) + sum(
+        PACKED_TABLE_OVERHEAD + PACKED_JUMP_BYTES * len(t) for t in tables
+    )
+    return chain, pool_charged
+
+
+def _packed_to_records(chain: PackedChain):
+    """Rebuild the mutable record tree from a packed chain (the lazy
+    unpack path: recovery needs object records the Memoizer can grow).
+
+    End slots reuse the chain's original :class:`EndRecord` objects, so
+    identity-based ``likely_next`` links into and out of this entry keep
+    holding across a pack/unpack round trip.  No accounting happens
+    here; callers adjust bytes and release pool references themselves.
+    """
+    nums = chain.nums
+    dstream = chain.data
+    sstream = chain.succ
+    values = chain.pool.values
+    n = len(nums)
+    recs: list = [None] * n
+    for i in range(n):
+        num = nums[i]
+        if num == ENDMARK:
+            recs[i] = chain.ends[sstream[i]]
+        elif num >= 0:
+            recs[i] = ActionRecord(num, values[dstream[i]])
+        else:
+            recs[i] = VerifyRecord(~num, values[dstream[i]])
+    for i in range(n):
+        num = nums[i]
+        if num == ENDMARK:
+            continue
+        if num >= 0:
+            recs[i].next = recs[i + 1]
+        else:
+            s = sstream[i]
+            if s >= 0:
+                recs[i].succ[values[s]] = recs[i + 1]
+            else:
+                recs[i].succ = {
+                    val: recs[j] for val, j in chain.tables[~s].items()
+                }
+    return recs[0]
+
+
+def entry_first_record(entry):
+    """First record of an entry's chain, reconstructing (without any
+    accounting side effects) when the entry is flat-packed.  Inspection
+    helpers use this so dumps work on both layouts."""
+    if entry.packed is not None:
+        return _packed_to_records(entry.packed)
+    return entry.first
+
+
 class CacheEntry:
-    __slots__ = ("key", "first", "complete", "generation", "stamp", "hot", "trace")
+    __slots__ = (
+        "key", "first", "packed", "complete", "generation", "stamp", "hot", "trace"
+    )
 
     def __init__(self, key: tuple, generation: int = 0):
         self.key = key
         self.first: object | None = None
+        # Flat-packed form (PackedChain), installed on completion when
+        # the cache packs; exactly one of first/packed is live for a
+        # complete entry (recovery unpacks lazily back to ``first``).
+        self.packed: PackedChain | None = None
         self.complete = False
         self.generation = generation
         # Age generation for the eviction policy: refreshed on every
@@ -162,6 +565,9 @@ class CacheStats:
     evictions: int = 0
     entries_evicted: int = 0
     bytes_refunded: int = 0
+    # Flat-pack accounting.
+    packs: int = 0
+    unpacks: int = 0
 
 
 #: Fixed accounted cost of one cache entry beyond its key.
@@ -194,12 +600,19 @@ class ActionCache:
         limit_bytes: int | None = None,
         evict_policy: str = "clear",
         low_watermark: float = 0.5,
+        flat_pack: bool = False,
     ):
         if evict_policy not in EVICT_POLICIES:
             raise ValueError(f"unknown eviction policy {evict_policy!r}")
         self.limit_bytes = limit_bytes
         self.evict_policy = evict_policy
         self.low_watermark = low_watermark
+        # Flat-pack completed entries into PackedChain streams (and
+        # intern placeholder data in ``pool``).  Off by default so the
+        # bare recording protocol — and tests that walk ``entry.first``
+        # directly — keep the object form; the engines turn it on.
+        self.flat_pack = flat_pack
+        self.pool = InternPool()
         self.entries: dict[tuple, CacheEntry] = {}
         self.stats = CacheStats()
         # Identity-link epoch: bumped only by a full clear, compared by
@@ -228,9 +641,10 @@ class ActionCache:
         if stale is not None:
             # An interrupted step left an incomplete entry behind (or a
             # caller is re-recording a key).  Refund its charged bytes
-            # before replacing it, or ``bytes_current`` drifts upward
-            # and triggers spurious reclaims.
-            self._refund(self.entry_bytes(stale))
+            # (releasing any pooled data it references) before replacing
+            # it, or ``bytes_current`` drifts upward and triggers
+            # spurious reclaims.
+            self._release_entry(stale)
             stale.generation = -1
         self._charge(value_bytes(key) + ENTRY_OVERHEAD)
         entry = CacheEntry(key, self.generation)
@@ -261,14 +675,98 @@ class ActionCache:
         self.stats.bytes_current -= nbytes
         self.stats.bytes_refunded += nbytes
 
+    def _adjust(self, delta: int) -> None:
+        """Re-account an entry changing layout (pack/unpack).  Only
+        ``bytes_current`` moves: no new data was recorded, so the
+        cumulative total and the age-generation clock stay put."""
+        self.stats.bytes_current += delta
+
+    # -- flat packing ----------------------------------------------------
+
+    def on_complete(self, entry: CacheEntry) -> None:
+        """Hook called by the Memoizer once an entry's step completes
+        (first recording and every recovery): pack it when enabled."""
+        if self.flat_pack:
+            self.pack_entry(entry)
+
+    def pack_entry(self, entry: CacheEntry) -> None:
+        """Flat-pack one complete entry: replace its record tree with
+        parallel index streams, interning placeholder data.  Exact
+        re-accounting: the object tree's bytes are swapped for the
+        packed local bytes plus whatever the pool newly charged."""
+        if entry.packed is not None or entry.first is None:
+            return
+        old = self.entry_bytes(entry)
+        chain, pool_charged = _pack_records(entry.first, self.pool)
+        entry.packed = chain
+        entry.first = None
+        new = value_bytes(entry.key) + ENTRY_OVERHEAD + chain.local_bytes
+        self._adjust(new + pool_charged - old)
+        self.stats.packs += 1
+
+    def unpack_entry(self, entry: CacheEntry) -> None:
+        """Lazily unpack an entry back to the mutable record tree (miss
+        recovery needs objects the Memoizer can grow).  Releases every
+        pool reference the packed form held; the inverse of
+        :meth:`pack_entry`, including in the accounting."""
+        chain = entry.packed
+        if chain is None:
+            return
+        entry.first = _packed_to_records(chain)
+        entry.packed = None
+        pool_freed = 0
+        release = self.pool.release
+        nums = chain.nums
+        dstream = chain.data
+        sstream = chain.succ
+        for i in range(len(nums)):
+            num = nums[i]
+            if num == ENDMARK:
+                continue
+            pool_freed += release(dstream[i])
+            if num < 0:
+                s = sstream[i]
+                if s >= 0:
+                    pool_freed += release(s)
+        old = value_bytes(entry.key) + ENTRY_OVERHEAD + chain.local_bytes
+        self._adjust(self.entry_bytes(entry) - old - pool_freed)
+        self.stats.unpacks += 1
+
+    def _release_entry(self, entry: CacheEntry) -> None:
+        """Refund an entry leaving the cache (eviction or stale
+        overwrite), releasing its pool references when packed."""
+        chain = entry.packed
+        if chain is None:
+            self._refund(self.entry_bytes(entry))
+            return
+        freed = value_bytes(entry.key) + ENTRY_OVERHEAD + chain.local_bytes
+        release = self.pool.release
+        nums = chain.nums
+        dstream = chain.data
+        sstream = chain.succ
+        for i in range(len(nums)):
+            num = nums[i]
+            if num == ENDMARK:
+                continue
+            freed += release(dstream[i])
+            if num < 0:
+                s = sstream[i]
+                if s >= 0:
+                    freed += release(s)
+        self._refund(freed)
+
     # -- accounting ------------------------------------------------------
 
     @staticmethod
     def entry_bytes(entry: CacheEntry) -> int:
         """Exact accounted size of one entry: key + overhead plus every
         record in its tree, verify successor chains included — the
-        inverse of every charge made while recording it."""
+        inverse of every charge made while recording it.  For a packed
+        entry this is the entry-local size only; the shared pool bytes
+        live in ``pool.bytes_live``."""
         total = value_bytes(entry.key) + ENTRY_OVERHEAD
+        if entry.packed is not None:
+            return total + entry.packed.local_bytes
         stack = [entry.first]
         while stack:
             rec = stack.pop()
@@ -284,10 +782,14 @@ class ActionCache:
 
     def recount_bytes(self) -> int:
         """Recompute ``bytes_current`` from scratch by walking every
-        surviving entry's record tree.  The accounting invariant — and
-        what the tests assert after evictions — is that this always
-        equals ``stats.bytes_current`` exactly."""
-        return sum(self.entry_bytes(e) for e in self.entries.values())
+        surviving entry's record tree (packed entries contribute their
+        local streams) plus a from-scratch recount of the live interning
+        pool.  The accounting invariant — and what the tests assert
+        after evictions — is that this always equals
+        ``stats.bytes_current`` exactly."""
+        return sum(
+            self.entry_bytes(e) for e in self.entries.values()
+        ) + self.pool.recount()
 
     # -- reclamation -----------------------------------------------------
 
@@ -307,6 +809,7 @@ class ActionCache:
         """Apply the eviction policy unconditionally (see maybe_reclaim)."""
         if self.evict_policy == "clear":
             self.entries.clear()
+            self.pool.clear()  # every reference died with the entries
             self.stats.bytes_current = 0
             self.stats.clears += 1
             self.generation += 1  # invalidates likely-next links
@@ -335,7 +838,7 @@ class ActionCache:
                 break
             del self.entries[entry.key]
             entry.generation = -1  # rejects stale likely-next links
-            self._refund(self.entry_bytes(entry))
+            self._release_entry(entry)
             evicted.append(entry)
         stats.evictions += 1
         stats.entries_evicted += len(evicted)
@@ -574,9 +1077,11 @@ class Memoizer:
             raise SimulationError("step ended while still recovering from a miss")
         end = EndRecord()
         self._attach(end)
-        if self.entry is not None:
-            self.entry.complete = True
+        entry = self.entry
         self.entry = None
+        if entry is not None:
+            entry.complete = True
+            self.cache.on_complete(entry)
 
     # -- recording / recovery operations -------------------------------------
 
@@ -724,6 +1229,7 @@ class FastForwardEngine:
         index_links: bool = True,
         trace_jit: bool = True,
         trace_threshold: int = 64,
+        flat_pack: bool = True,
     ):
         from .tracecomp import TraceManager
 
@@ -733,8 +1239,13 @@ class FastForwardEngine:
             limit_bytes=cache_limit_bytes,
             evict_policy=cache_evict,
             low_watermark=cache_low_watermark,
+            flat_pack=flat_pack,
         )
         self.memoizer = Memoizer(self.cache)
+        # Dispatch table for the packed replay loop: a bare list of
+        # action functions (verify-ness is encoded in the stream sign,
+        # so the per-record tuple unpack disappears).
+        self._action_fns = [fn for fn, _ in compiled.fast_actions]
         self.stats = RunStats()
         # The paper's INDEX_ACTION chaining; disable to force a full
         # cache lookup at every step boundary (ablation).
@@ -801,6 +1312,16 @@ class FastForwardEngine:
         # it forces the interpreter (see profile()).
         traces = self.traces if self.action_profile is None else None
         threshold = traces.threshold if traces is not None else 0
+        # Packed replay may chain across step boundaries inside one
+        # call (absorbing the per-step driver overhead) only when no
+        # other tier needs per-step control: no trace promotion, no
+        # profiling, and identity-trustworthy likely-next links.
+        chain_steps = (
+            traces is None
+            and self.action_profile is None
+            and index_links
+            and id_links
+        )
         steps = 0
         last_end: EndRecord | None = None
         while not ctx.halted and (max_steps is None or steps < max_steps):
@@ -870,6 +1391,30 @@ class FastForwardEngine:
                         steps += 1
                         stats.steps_total += 1
                         last_end = None
+                elif entry.packed is not None:
+                    if chain_steps:
+                        budget = (
+                            max_steps - steps if max_steps is not None
+                            else UNBOUNDED_BUDGET
+                        )
+                    else:
+                        budget = 1
+                    end, n = self._fast_step_packed(entry, budget)
+                    stats.steps_fast += n
+                    steps += n
+                    stats.steps_total += n
+                    if end is None:
+                        stats.steps_recovered += 1
+                        steps += 1
+                        stats.steps_total += 1
+                        last_end = None
+                    else:
+                        last_end = end
+                        if traces is not None and trace is None:
+                            hot = entry.hot + 1
+                            entry.hot = hot
+                            if hot >= threshold:
+                                traces.promote(entry, stats.steps_total)
                 else:
                     end = self._fast_step(entry)
                     steps += 1
@@ -961,12 +1506,163 @@ class FastForwardEngine:
             raise SimulationError("recorded action chain ended without an end marker")
         return rec
 
+    def _fast_step_packed(
+        self, entry: CacheEntry, budget: int
+    ) -> tuple[EndRecord | None, int]:
+        """Replay through the flat-packed streams: an index-threaded,
+        bytecode-style loop over the parallel arrays — no per-record
+        attribute dispatch, no successor-pointer chasing, every hot name
+        a local.  Slot kinds decode from the sign of the action number
+        (>= 0 plain, ENDMARK end, else ``~num`` verify).
+
+        Runs up to ``budget`` completed steps, following likely-next
+        links across step boundaries while they keep holding (the
+        driver passes budget 1 when the trace tier or the profiler
+        needs per-step control).  Returns ``(end, steps_done)``; end is
+        None when a verify miss ended the run — the missed step has
+        already recovered through the slow engine and is not counted in
+        ``steps_done``.
+        """
+        if self.action_profile is not None:
+            return self._fast_step_packed_profiled(entry)
+        ctx = self.ctx
+        S = ctx.S
+        fns = self._action_fns
+        _freeze = freeze
+        cache = self.cache
+        cstats = cache.stats
+        gen = cache.gen
+        generation = cache.generation
+        init_slot = self.compiled.init_slot
+        endmark = ENDMARK
+        steps_done = 0
+        replayed = 0
+        links = 0
+        end: EndRecord | None = None
+        ctx.in_fast = True
+        try:
+            while True:
+                chain = entry.packed
+                nums = chain.knums
+                datavals = chain.datavals
+                sux = chain.sux
+                consumed: list = []
+                i = 0
+                while True:
+                    num = nums[i]
+                    if num >= 0:
+                        fns[num](ctx, S, datavals[i])
+                        replayed += 1
+                        i += 1
+                        continue
+                    if num != endmark:
+                        value = _freeze(fns[~num](ctx, S, datavals[i]))
+                        replayed += 1
+                        consumed.append(value)
+                        sx = sux[i]
+                        if sx.__class__ is dict:
+                            j = sx.get(value)
+                            if j is not None:
+                                i = j
+                                continue
+                        elif sx == value:
+                            i += 1
+                            continue
+                        # Action cache miss: back to the slow simulator.
+                        cstats.misses_verify += 1
+                        self.stats.actions_replayed += replayed
+                        self._recover(entry, consumed)
+                        return None, steps_done
+                    end = sux[i]
+                    steps_done += 1
+                    break
+                if steps_done >= budget or ctx.halted:
+                    break
+                cached = end.likely_next
+                if cached is None or cached[0] is not S[init_slot]:
+                    break
+                nxt = cached[1]
+                if nxt.generation != generation or nxt.packed is None:
+                    break
+                entry = nxt
+                entry.stamp = gen
+                links += 1
+        finally:
+            ctx.in_fast = False
+            if links:
+                cstats.lookups += links
+                cstats.hits += links
+        self.stats.actions_replayed += replayed
+        return end, steps_done
+
+    def _fast_step_packed_profiled(
+        self, entry: CacheEntry
+    ) -> tuple[EndRecord | None, int]:
+        """Single-step packed replay with per-action profile counting.
+
+        Profiling forces budget-1 dispatch (the driver needs per-step
+        control), so this variant skips the chaining machinery and the
+        hot loop above stays free of per-slot profile checks."""
+        ctx = self.ctx
+        S = ctx.S
+        fns = self._action_fns
+        _freeze = freeze
+        prof = self.action_profile
+        endmark = ENDMARK
+        replayed = 0
+        chain = entry.packed
+        nums = chain.knums
+        datavals = chain.datavals
+        sux = chain.sux
+        consumed: list = []
+        i = 0
+        ctx.in_fast = True
+        try:
+            while True:
+                num = nums[i]
+                if num >= 0:
+                    prof[num] += 1
+                    fns[num](ctx, S, datavals[i])
+                    replayed += 1
+                    i += 1
+                    continue
+                if num != endmark:
+                    num = ~num
+                    prof[num] += 1
+                    value = _freeze(fns[num](ctx, S, datavals[i]))
+                    replayed += 1
+                    consumed.append(value)
+                    sx = sux[i]
+                    if sx.__class__ is dict:
+                        j = sx.get(value)
+                        if j is not None:
+                            i = j
+                            continue
+                    elif sx == value:
+                        i += 1
+                        continue
+                    self.cache.stats.misses_verify += 1
+                    self.stats.actions_replayed += replayed
+                    self._recover(entry, consumed)
+                    return None, 0
+                end = sux[i]
+                break
+        finally:
+            ctx.in_fast = False
+        self.stats.actions_replayed += replayed
+        return end, 1
+
     def _recover(self, entry: CacheEntry, results: list) -> None:
         # Recovery appends a fresh successor chain to a verify record of
         # this entry, so any compiled trace whose comparison ladder was
         # specialized on the entry's old successor set is now stale.
         if self.traces is not None:
             self.traces.invalidate_for(entry)
+        # The Memoizer grows mutable record trees; a flat-packed entry
+        # is unpacked here (lazily, misses only) and repacked by
+        # ``end_step`` once the new successor chain is recorded.
+        if entry.packed is not None:
+            self.cache.unpack_entry(entry)
         self.ctx.in_fast = False
         M = self.memoizer
         M.begin_recovery(entry, results)

@@ -130,7 +130,14 @@ class TraceJITStats:
 
 def _tree_shape(entry) -> tuple[int, int] | None:
     """(record count, max multi-successor nesting depth) of an entry's
-    record tree, or None if the tree is unfinished."""
+    record tree, or None if the tree is unfinished.
+
+    Flat-packed entries answer from the shape the packer computed —
+    free, where the object walk was proportional to the tree — which is
+    what makes chain-flattening pre-scans cheaper under packing."""
+    if entry.packed is not None:
+        chain = entry.packed
+        return chain.n_records, chain.depth
     n = 0
     depth_max = 0
     stack = [(entry.first, 0)]
@@ -226,21 +233,21 @@ class _TraceEmitter:
 
     # -- record emission ----------------------------------------------------
 
-    def _splice_action(self, rec, indent: int) -> None:
+    def _splice_action(self, num: int, data: tuple, indent: int) -> None:
         """Inline one non-verify action body with data bound as constants."""
-        body, n_ph, _ = self.compiled.action_bodies[rec.num]
-        sub = self._ph_subst(rec, n_ph)
+        body, n_ph, _ = self.compiled.action_bodies[num]
+        sub = self._ph_subst(num, data, n_ph)
         for src in body:
-            self.line(indent, self._specialize(src, rec.data, sub))
+            self.line(indent, self._specialize(src, data, sub))
         self.records_emitted += 1
 
-    def _splice_verify(self, rec, indent: int) -> str:
+    def _splice_verify(self, num: int, data: tuple, indent: int) -> str:
         """Inline a verify body; returns the name holding the frozen value."""
-        body, n_ph, _ = self.compiled.action_bodies[rec.num]
-        sub = self._ph_subst(rec, n_ph)
+        body, n_ph, _ = self.compiled.action_bodies[num]
+        sub = self._ph_subst(num, data, n_ph)
         vname = self._fresh_value()
         for src in body:
-            src = self._specialize(src, rec.data, sub)
+            src = self._specialize(src, data, sub)
             if src.startswith("return "):
                 self.line(indent, f"{vname} = _freeze({src[len('return '):]})")
             else:
@@ -273,10 +280,9 @@ class _TraceEmitter:
                 break
         return _PH_RE.sub(sub, src)
 
-    def _ph_subst(self, rec, n_ph: int):
-        data = rec.data
+    def _ph_subst(self, num: int, data: tuple, n_ph: int):
         if len(data) != n_ph:
-            raise _Untraceable(f"action {rec.num}: data/placeholder mismatch")
+            raise _Untraceable(f"action {num}: data/placeholder mismatch")
 
         def sub(match: re.Match) -> str:
             value = data[int(match.group(1))]
@@ -295,11 +301,83 @@ class _TraceEmitter:
     def emit_entry(
         self, entry, indent: int, steps: int, replayed: int, chain_left: int
     ) -> None:
-        """Emit the whole record tree of one complete cache entry."""
+        """Emit the whole record tree of one complete cache entry
+        (walking the packed streams directly when it is flat-packed)."""
         if id(entry) not in self._entry_ids:
             self._entry_ids.add(id(entry))
             self.entries.append(entry)
-        self.emit_chain(entry.first, entry, indent, steps, replayed, [], chain_left)
+        if entry.packed is not None:
+            self.emit_packed(
+                entry.packed, 0, entry, indent, steps, replayed, [], chain_left
+            )
+        else:
+            self.emit_chain(
+                entry.first, entry, indent, steps, replayed, [], chain_left
+            )
+
+    def emit_packed(
+        self,
+        chain,
+        i: int,
+        entry,
+        indent: int,
+        steps: int,
+        replayed: int,
+        consumed: list[str],
+        chain_left: int,
+    ) -> None:
+        """Emit records straight off a :class:`PackedChain`'s streams —
+        no object reconstruction; slot kinds decode from the sign of the
+        action number and data comes from the interning pool."""
+        if indent > self.max_depth:
+            raise _Untraceable("verify nesting too deep")
+        from .runtime import ENDMARK
+
+        nums = chain.nums
+        dstream = chain.data
+        sstream = chain.succ
+        pool_vals = chain.pool.values
+        while True:
+            num = nums[i]
+            if num >= 0:
+                self._splice_action(num, pool_vals[dstream[i]], indent)
+                replayed += 1
+                i += 1
+                continue
+            if num == ENDMARK:
+                self._emit_end(
+                    chain.ends[sstream[i]], indent, steps, replayed, chain_left
+                )
+                return
+            vname = self._splice_verify(~num, pool_vals[dstream[i]], indent)
+            replayed += 1
+            exit_values = ", ".join(consumed + [vname])
+            side_exit = (
+                f"return ({TRACE_SIDE_EXIT}, {steps}, {replayed}, "
+                f"{self.const(entry)}, ({exit_values},))"
+            )
+            s = sstream[i]
+            if s >= 0:
+                # Single recorded successor: the expected value sits in
+                # the pool; match falls through to the next slot.
+                wname = self.value_ref(pool_vals[s])
+                self.line(indent, f"if {vname} != {wname}:")
+                self.line(indent + 1, side_exit)
+                consumed = consumed + [wname]
+                i += 1
+                continue
+            table = chain.tables[~s]
+            for k, (value, j) in enumerate(table.items()):
+                wname = self.value_ref(value)
+                kw = "if" if k == 0 else "elif"
+                self.line(indent, f"{kw} {vname} == {wname}:")
+                self.emit_packed(
+                    chain, j, entry, indent + 1, steps, replayed,
+                    consumed + [wname], chain_left,
+                )
+            self.line(indent, "else:")
+            self.line(indent + 1, side_exit)
+            return
 
     def emit_chain(
         self,
@@ -326,11 +404,11 @@ class _TraceEmitter:
                 self._emit_end(rec, indent, steps, replayed, chain_left)
                 return
             if not rec.is_verify:
-                self._splice_action(rec, indent)
+                self._splice_action(rec.num, rec.data, indent)
                 replayed += 1
                 rec = rec.next
                 continue
-            vname = self._splice_verify(rec, indent)
+            vname = self._splice_verify(rec.num, rec.data, indent)
             replayed += 1
             exit_values = ", ".join(consumed + [vname])
             side_exit = (

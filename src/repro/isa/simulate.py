@@ -47,6 +47,7 @@ def run_facile_functional(
     cache_evict: str = "clear",
     trace_jit: bool = True,
     trace_threshold: int = 64,
+    flat_pack: bool = True,
 ) -> FunctionalRun:
     """Run a program to completion on the Facile functional simulator."""
     compiled = compiled_functional_sim().simulator
@@ -56,6 +57,7 @@ def run_facile_functional(
             compiled, ctx, cache_limit_bytes=cache_limit_bytes,
             cache_evict=cache_evict,
             trace_jit=trace_jit, trace_threshold=trace_threshold,
+            flat_pack=flat_pack,
         )
     else:
         engine = PlainEngine(compiled, ctx)

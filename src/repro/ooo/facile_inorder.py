@@ -189,7 +189,8 @@ class FacileInOrderSim:
                  memoized: bool = True, trace_jit: bool = True,
                  trace_threshold: int = 64,
                  cache_limit_bytes: int | None = None,
-                 cache_evict: str = "clear"):
+                 cache_evict: str = "clear",
+                 flat_pack: bool = True):
         self.config = config or C.MachineConfig()
         self.program = program
         self.compiled = compiled_inorder_sim(self.config).simulator
@@ -207,6 +208,7 @@ class FacileInOrderSim:
                 cache_limit_bytes=cache_limit_bytes,
                 cache_evict=cache_evict,
                 trace_jit=trace_jit, trace_threshold=trace_threshold,
+                flat_pack=flat_pack,
             )
         else:
             self.engine = PlainEngine(self.compiled, self.ctx)
@@ -246,9 +248,11 @@ def run_facile_inorder(
     program: Program, config: C.MachineConfig | None = None, memoized: bool = True,
     trace_jit: bool = True, trace_threshold: int = 64,
     cache_limit_bytes: int | None = None, cache_evict: str = "clear",
+    flat_pack: bool = True,
 ) -> InOrderRun:
     return FacileInOrderSim(
         program, config, memoized=memoized,
         trace_jit=trace_jit, trace_threshold=trace_threshold,
         cache_limit_bytes=cache_limit_bytes, cache_evict=cache_evict,
+        flat_pack=flat_pack,
     ).run()

@@ -339,6 +339,7 @@ class FacileOooSim:
         index_links: bool = True,
         trace_jit: bool = True,
         trace_threshold: int = 64,
+        flat_pack: bool = True,
     ):
         self.config = config or C.MachineConfig()
         self.program = program
@@ -359,6 +360,7 @@ class FacileOooSim:
                 index_links=index_links,
                 trace_jit=trace_jit,
                 trace_threshold=trace_threshold,
+                flat_pack=flat_pack,
             )
         else:
             self.engine = PlainEngine(self.compiled, self.ctx)
@@ -420,6 +422,7 @@ def run_facile_ooo(
     index_links: bool = True,
     trace_jit: bool = True,
     trace_threshold: int = 64,
+    flat_pack: bool = True,
 ) -> FacileOooRun:
     sim = FacileOooSim(
         program,
@@ -432,5 +435,6 @@ def run_facile_ooo(
         index_links=index_links,
         trace_jit=trace_jit,
         trace_threshold=trace_threshold,
+        flat_pack=flat_pack,
     )
     return sim.run(max_steps=max_steps)

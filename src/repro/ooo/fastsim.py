@@ -32,8 +32,16 @@ entire loops without touching the bookkeeping at all.
 
 from __future__ import annotations
 
+from array import array
+from collections import deque
 from dataclasses import dataclass
 
+from ..facile.runtime import (
+    PACKED_JUMP_BYTES,
+    PACKED_SLOT_BYTES,
+    PACKED_TABLE_OVERHEAD,
+    InternPool,
+)
 from ..isa import sparclite as S
 from ..isa.funcsim import FunctionalSim
 from ..isa.program import Program
@@ -50,16 +58,28 @@ EV_BCALL = 6
 
 CHECK_KINDS = frozenset((EV_CACHE, EV_BPRED, EV_BIND))
 
+# Packed-slot kind encodings (see _PackedCycle): plain events keep
+# their EV_* kind; a dynamic result test on EV_k packs as FS_CHECK_BASE
+# + k; FS_END marks the end of the cycle (successor lane indexes
+# ``next_keys``).
+FS_CHECK_BASE = 8
+FS_END = 64
+
 
 class _Node:
     """A run of non-test events ending in either a dynamic result test
     (with per-value successor nodes) or the next cycle's key.
 
-    ``stamp`` and ``nbytes`` are meaningful on root nodes only: the age
-    generation of the entry (for generational eviction) and the exact
-    bytes charged against it (for the eviction refund)."""
+    ``stamp``, ``nbytes``, ``key_cost``, and ``packed`` are meaningful
+    on root nodes only: the age generation of the entry (for
+    generational eviction), the exact bytes charged against it (for the
+    eviction refund), the accounted key size, and the flat-packed form
+    of the whole cycle tree once recording completed."""
 
-    __slots__ = ("events", "check", "succ", "next_key", "stamp", "nbytes")
+    __slots__ = (
+        "events", "check", "succ", "next_key", "stamp", "nbytes",
+        "key_cost", "packed",
+    )
 
     def __init__(self) -> None:
         self.events: list[tuple] = []
@@ -68,6 +88,42 @@ class _Node:
         self.next_key: tuple | None = None
         self.stamp = 0
         self.nbytes = 0
+        self.key_cost = 0
+        self.packed: _PackedCycle | None = None
+
+
+class _PackedCycle:
+    """One complete cycle tree, flat-packed — the same parallel-stream
+    layout as :class:`repro.facile.runtime.PackedChain`, so the
+    hand-coded ablation baseline carries the identical encoding:
+
+    * ``kinds[i]``   — EV_* for a plain event, ``FS_CHECK_BASE + EV_*``
+      for a dynamic result test, :data:`FS_END` at the cycle boundary;
+    * ``payload[i]`` — :class:`InternPool` index of the event tuple
+      (plain) or check payload (test); -1 at FS_END;
+    * ``succ[i]``    — 0 for plain events (fall through), the pool
+      index of the single expected value (match falls through) or
+      ``~t`` into ``tables`` for multi-successor tests, and the
+      ``next_keys`` index at FS_END.
+
+    ``local_bytes`` is the accounted entry-local size (slots + jump
+    tables); pooled event/value bytes are shared and live in the pool.
+    ``next_keys`` values are not billed, matching the unpacked
+    accounting, which never billed ``next_key``.
+
+    ``kkinds``/``payload_vals``/``sux`` are the replay view — the
+    canonical streams resolved once at pack time (kinds as a plain
+    list, payloads as the pooled objects, successors as the expected
+    value / shared jump table / next key), so the replay loop never
+    touches the pool.  The view aliases pooled and canonical-lane
+    objects and carries no accounted bytes; accounting, release, and
+    unpack read the canonical streams.
+    """
+
+    __slots__ = (
+        "kinds", "payload", "succ", "tables", "next_keys",
+        "kkinds", "payload_vals", "sux", "local_bytes",
+    )
 
 
 @dataclass
@@ -81,6 +137,8 @@ class MemoStats:
     misses_new_key: int = 0
     misses_check: int = 0
     bytes_estimate: int = 0
+    packs: int = 0
+    unpacks: int = 0
     clears: int = 0
     evictions: int = 0
     entries_evicted: int = 0
@@ -111,6 +169,7 @@ class FastSimOoo:
         memo_low_watermark: float = 0.5,
         cache=None,
         predictor=None,
+        flat_pack: bool = True,
     ):
         if memo_evict not in ("clear", "generational"):
             raise ValueError(f"unknown eviction policy {memo_evict!r}")
@@ -125,6 +184,8 @@ class FastSimOoo:
         self.fetch_halted = False
         self.stats = C.OooStats()
         self.memoize = memoize
+        self.flat_pack = flat_pack
+        self.pool = InternPool()
         self.memo: dict[tuple, _Node] = {}
         self.memo_limit_bytes = memo_limit_bytes
         self.memo_evict = memo_evict
@@ -197,10 +258,14 @@ class FastSimOoo:
                 self._materialize(key)
                 root = _Node()
                 root.stamp = self.gen
+                root.key_cost = 8 * (8 + 6 * len(key[0]) + 33)
                 self.memo[key] = root
                 self.mstats.entries += 1
-                self._bill(root, 8 * (8 + 6 * len(key[0]) + 33))
+                self._bill(root, root.key_cost)
                 key = self._slow_cycle(record=True, root=root)
+            elif node.packed is not None:
+                node.stamp = self.gen
+                key = self._replay_packed(key, node)
             else:
                 node.stamp = self.gen
                 key = self._replay(key, node)
@@ -228,15 +293,30 @@ class FastSimOoo:
         total = 0
         for key, root in self.memo.items():
             total += 8 * (8 + 6 * len(key[0]) + 33)
-            stack = [root]
-            while stack:
-                node = stack.pop()
-                total += sum(16 + 8 * len(ev) for ev in node.events)
-                if node.check is not None:
-                    # _check charges 64 (test + first successor); each
-                    # fork attached during recovery charges 48 more.
-                    total += 64 + 48 * (len(node.succ) - 1)
-                stack.extend(node.succ.values())
+            chain = root.packed
+            if chain is not None:
+                total += PACKED_SLOT_BYTES * len(chain.kinds) + sum(
+                    PACKED_TABLE_OVERHEAD + PACKED_JUMP_BYTES * len(t)
+                    for t in chain.tables
+                )
+                continue
+            total += self._tree_cost(root)
+        return total + self.pool.recount()
+
+    @staticmethod
+    def _tree_cost(root: _Node) -> int:
+        """Accounted size of an unpacked node tree, excluding the key
+        cost — must match the incremental ``_bill`` charges."""
+        total = 0
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            total += sum(16 + 8 * len(ev) for ev in node.events)
+            if node.check is not None:
+                # _check charges 64 (test + first successor); each
+                # fork attached during recovery charges 48 more.
+                total += 64 + 48 * (len(node.succ) - 1)
+            stack.extend(node.succ.values())
         return total
 
     def _maybe_reclaim(self) -> None:
@@ -247,23 +327,45 @@ class FastSimOoo:
             return
         if self.memo_evict == "clear":
             self.memo.clear()
+            self.pool.clear()
             self.mstats.bytes_estimate = 0
             self.mstats.clears += 1
             return
         # Generational partial eviction: drop the coldest entries until
-        # below the low watermark, refunding their exact charged bytes.
+        # below the low watermark, refunding their exact charged bytes
+        # (including pooled bytes whose last reference this entry held).
         target = int(self.memo_limit_bytes * self.memo_low_watermark)
         mstats = self.mstats
         for key, root in sorted(self.memo.items(), key=lambda kv: kv[1].stamp):
             if mstats.bytes_estimate <= target:
                 break
             del self.memo[key]
-            mstats.bytes_estimate -= root.nbytes
-            mstats.bytes_refunded += root.nbytes
+            refund = self._release_root(root)
+            mstats.bytes_estimate -= refund
+            mstats.bytes_refunded += refund
             mstats.entries_evicted += 1
         mstats.evictions += 1
         self.gen += 1
         self._since_gen = 0
+
+    def _release_root(self, root: _Node) -> int:
+        """Total refund for dropping ``root``: its accounted entry
+        bytes plus any pooled bytes it held the last reference to."""
+        refund = root.nbytes
+        chain = root.packed
+        if chain is not None:
+            pool = self.pool
+            kinds = chain.kinds
+            payload = chain.payload
+            sstream = chain.succ
+            for i in range(len(kinds)):
+                k = kinds[i]
+                if k == FS_END:
+                    continue
+                refund += pool.release(payload[i])
+                if k >= FS_CHECK_BASE and sstream[i] >= 0:
+                    refund += pool.release(sstream[i])
+        return refund
 
     # -- fast replay ----------------------------------------------------------------
 
@@ -304,6 +406,207 @@ class FastSimOoo:
         self.mstats.cycles_fast += 1
         return node.next_key
 
+    def _replay_packed(self, key: tuple, root: _Node) -> tuple:
+        """Replay one flat-packed cycle: an index-threaded walk over the
+        parallel streams with no node-attribute dispatch.  On a dynamic
+        result miss the entry is unpacked back to record form and the
+        slow simulator recovers exactly as in :meth:`_replay`."""
+        func = self.func
+        chain = root.packed
+        kinds = chain.kkinds
+        payload_vals = chain.payload_vals
+        sux = chain.sux
+        stats = self.stats
+        mstats = self.mstats
+        predictor = self.predictor
+        consumed: list[tuple] = []
+        last_info = None
+        n = 0
+        i = 0
+        while True:
+            k = kinds[i]
+            if k < FS_CHECK_BASE:
+                ev = payload_vals[i]
+                if k == EV_EXEC:
+                    last_info = func.exec_decoded(ev[2], ev[1])
+                elif k == EV_STAT:
+                    stats.cycles += ev[1]
+                    stats.retired += ev[2]
+                    self.retired_fast += ev[2]
+                elif k == EV_ANNUL:
+                    func.step()
+                else:  # EV_BCALL
+                    predictor.note_call(ev[1])
+                consumed.append((k, None))
+                n += 1
+                i += 1
+                continue
+            if k != FS_END:
+                ek = k - FS_CHECK_BASE
+                value = self._perform_check(ek, payload_vals[i], last_info)
+                consumed.append((ek, value))
+                n += 1
+                sx = sux[i]
+                if sx.__class__ is dict:
+                    j = sx.get(value)
+                    if j is not None:
+                        i = j
+                        continue
+                elif sx == value:
+                    i += 1
+                    continue
+                # Action-cache miss: thaw the entry back to record
+                # form and recover via the slow simulator (which
+                # re-packs it at cycle end).
+                mstats.events_replayed += n
+                mstats.misses_check += 1
+                mstats.cycles_recovered += 1
+                self._materialize(key)
+                self._unpack_root(root)
+                return self._slow_cycle(record=True, root=root, recovery=consumed)
+            mstats.events_replayed += n
+            mstats.cycles_fast += 1
+            return sux[i]
+
+    # -- flat packing ----------------------------------------------------------------
+
+    def _pack_root(self, root: _Node) -> None:
+        """Flatten a completed cycle tree into parallel streams and
+        re-account the entry at its packed size (pooled values billed
+        only on first reference)."""
+        pool = self.pool
+        values = pool.values
+        kinds = array("q")
+        payload = array("q")
+        succ = array("q")
+        payload_vals: list = []
+        sux: list = []
+        tables: list[dict] = []
+        next_keys: list[tuple] = []
+        pool_charged = 0
+        pending = deque([(root, -1, None)])
+        while pending:
+            node, t_idx, t_key = pending.popleft()
+            if t_idx >= 0:
+                tables[t_idx][t_key] = len(kinds)
+            while True:
+                for ev in node.events:
+                    idx, charged = pool.intern(ev)
+                    pool_charged += charged
+                    kinds.append(ev[0])
+                    payload.append(idx)
+                    succ.append(0)
+                    payload_vals.append(values[idx])
+                    sux.append(None)
+                if node.check is None:
+                    kinds.append(FS_END)
+                    payload.append(-1)
+                    succ.append(len(next_keys))
+                    next_keys.append(node.next_key)
+                    payload_vals.append(None)
+                    sux.append(node.next_key)
+                    break
+                ck, cpayload = node.check
+                idx, charged = pool.intern(cpayload)
+                pool_charged += charged
+                kinds.append(FS_CHECK_BASE + ck)
+                payload.append(idx)
+                payload_vals.append(values[idx])
+                if len(node.succ) == 1:
+                    ((value, nxt),) = node.succ.items()
+                    vidx, charged = pool.intern(value)
+                    pool_charged += charged
+                    succ.append(vidx)
+                    # Expected check results are scalars or tuples,
+                    # never dicts, so the replay loop discriminates
+                    # this fall-through form from a jump table by class.
+                    sux.append(values[vidx])
+                    node = nxt
+                    continue
+                table: dict = {}
+                tables.append(table)
+                succ.append(~(len(tables) - 1))
+                sux.append(table)
+                for value, nxt in node.succ.items():
+                    pending.append((nxt, len(tables) - 1, value))
+                break
+        chain = _PackedCycle()
+        chain.kinds = kinds
+        chain.payload = payload
+        chain.succ = succ
+        chain.tables = tables
+        chain.next_keys = next_keys
+        chain.kkinds = kinds.tolist()
+        chain.payload_vals = payload_vals
+        chain.sux = sux
+        chain.local_bytes = PACKED_SLOT_BYTES * len(kinds) + sum(
+            PACKED_TABLE_OVERHEAD + PACKED_JUMP_BYTES * len(t) for t in tables
+        )
+        old = root.nbytes
+        root.nbytes = root.key_cost + chain.local_bytes
+        root.packed = chain
+        root.events = []
+        root.check = None
+        root.succ = {}
+        root.next_key = None
+        self.mstats.bytes_estimate += root.nbytes + pool_charged - old
+        self.mstats.packs += 1
+
+    def _unpack_root(self, root: _Node) -> None:
+        """Rebuild the record tree from the packed streams (so the
+        recorder can walk it and attach a miss fork), release the pool
+        references, and re-account the entry at its unpacked size."""
+        chain = root.packed
+        kinds = chain.kinds
+        pstream = chain.payload
+        sstream = chain.succ
+        tables = chain.tables
+        next_keys = chain.next_keys
+        pool = self.pool
+        pool_vals = pool.values
+        root.events = []
+        root.check = None
+        root.succ = {}
+        root.next_key = None
+        pending = deque([(0, root)])
+        while pending:
+            i, node = pending.popleft()
+            while True:
+                k = kinds[i]
+                if k < FS_CHECK_BASE:
+                    node.events.append(pool_vals[pstream[i]])
+                    i += 1
+                    continue
+                if k == FS_END:
+                    node.next_key = next_keys[sstream[i]]
+                    break
+                node.check = (k - FS_CHECK_BASE, pool_vals[pstream[i]])
+                s = sstream[i]
+                if s >= 0:
+                    nxt = _Node()
+                    node.succ[pool_vals[s]] = nxt
+                    node = nxt
+                    i += 1
+                    continue
+                for value, j in tables[~s].items():
+                    child = _Node()
+                    node.succ[value] = child
+                    pending.append((j, child))
+                break
+        freed = 0
+        for i in range(len(kinds)):
+            k = kinds[i]
+            if k == FS_END:
+                continue
+            freed += pool.release(pstream[i])
+            if k >= FS_CHECK_BASE and sstream[i] >= 0:
+                freed += pool.release(sstream[i])
+        old = root.nbytes
+        root.nbytes = root.key_cost + self._tree_cost(root)
+        root.packed = None
+        self.mstats.bytes_estimate += root.nbytes - old - freed
+        self.mstats.unpacks += 1
+
     def _perform_check(self, kind: int, payload, info) -> tuple | int:
         if kind == EV_CACHE:
             (is_store,) = payload
@@ -340,6 +643,8 @@ class FastSimOoo:
             return ()
         next_key = self.state_key()
         rec.finish(next_key)
+        if root is not None and self.flat_pack:
+            self._pack_root(root)
         return next_key
 
     def _phase_stat(self, rec: "_Recorder") -> None:
@@ -663,6 +968,7 @@ def run_fastsim(
     max_cycles: int = 10_000_000,
     memo_limit_bytes: int | None = None,
     memo_evict: str = "clear",
+    flat_pack: bool = True,
 ) -> FastSimOoo:
     sim = FastSimOoo(
         program,
@@ -670,6 +976,7 @@ def run_fastsim(
         memoize=memoize,
         memo_limit_bytes=memo_limit_bytes,
         memo_evict=memo_evict,
+        flat_pack=flat_pack,
     )
     sim.run(max_cycles)
     return sim

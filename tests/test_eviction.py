@@ -14,10 +14,12 @@ import pytest
 
 from repro.facile import FastForwardEngine, SimulationError
 from repro.facile.runtime import (
+    DICT_TAG,
     ActionCache,
     CompiledSimulator,
     Memoizer,
     freeze,
+    thaw,
 )
 
 from .toyisa import (
@@ -42,9 +44,17 @@ def straight_line(n: int) -> list[int]:
 def multi_loop_program(n_loops: int, iters: int) -> list[int]:
     """n_loops sequential countdown loops.  While loop k runs, its
     entries are the hot working set; earlier loops are dead cold code —
-    the access pattern where partial eviction beats a full clear."""
+    the access pattern where partial eviction beats a full clear.
+
+    The straight-line preamble varies per loop so loops do not all have
+    the same cache footprint: with uniform footprints the byte limit is
+    crossed at the same intra-loop phase every time, and a full clear
+    can degenerately land only at loop boundaries (where it wipes
+    nothing that will ever be revisited), hiding the policy difference
+    this program exists to expose."""
     words: list[int] = []
-    for _ in range(n_loops):
+    for k in range(n_loops):
+        words += [add_imm(2, 2, j + 1) for j in range(k % 3)]
         words += [
             add_imm(1, 0, iters),   # r1 = iters
             add_imm(1, 1, 0x1FFF),  # r1 -= 1
@@ -239,11 +249,15 @@ class TestEngineEviction:
 
 
 class TestFreezeDict:
-    def test_dict_frozen_to_sorted_items(self):
-        assert freeze({"b": 1, "a": [2]}) == (("a", (2,)), ("b", 1))
+    def test_dict_frozen_to_tagged_sorted_items(self):
+        assert freeze({"b": 1, "a": [2]}) == (DICT_TAG, ("a", (2,)), ("b", 1))
 
     def test_frozen_dict_hashable(self):
         hash(freeze({"x": {"y": [1, 2]}, "w": 3}))
+
+    def test_thaw_restores_dict(self):
+        original = {"b": 1, "a": [2, {"c": 3}]}
+        assert thaw(freeze(original)) == original
 
     def test_unorderable_keys_raise_simulation_error(self):
         with pytest.raises(SimulationError, match="freeze"):

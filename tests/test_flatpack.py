@@ -1,0 +1,677 @@
+"""Flat-packed action cache tests (the perf-opt tentpole).
+
+Covers the contracts the packed layout must keep:
+
+* pack -> unpack is a lossless round trip — identical record-tree
+  structure, identical ``EndRecord`` objects (so ``likely_next``
+  identity links survive), and byte-exact accounting in both
+  directions;
+* packed replay produces the same simulation and the same ``RunStats``
+  as the object-tree interpreter, including through verify-miss
+  recovery (which lazily unpacks, grows the tree, and repacks);
+* eviction refunds stay exact under interning — every release path
+  (generational eviction, full clears, stale-entry overwrite) leaves
+  ``bytes_current`` equal to a from-scratch recount;
+* the interning pool itself: refcounts, free-list recycling, and a
+  randomized intern/release audit;
+* the iterative ``freeze``/``thaw``/``value_bytes`` survive structures
+  far deeper than the recursion limit (the depth-torture satellite);
+* the same guarantees for the hand-coded FastSim port.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.facile.runtime import (
+    DICT_TAG,
+    ENDMARK,
+    ActionCache,
+    InternPool,
+    Memoizer,
+    PackedChain,
+    _pack_records,
+    _packed_to_records,
+    entry_first_record,
+    freeze,
+    thaw,
+    value_bytes,
+)
+
+from .toyisa import (
+    HALT_WORD,
+    add_imm,
+    bz,
+    compile_toy,
+    countdown_program,
+    run_memoized,
+)
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return compile_toy().simulator
+
+
+def registers(ctx):
+    return list(ctx.read_global("R"))
+
+
+def multi_loop_program(n_loops: int, iters: int) -> list[int]:
+    """Sequential countdown loops with varied preambles (distinct hot
+    working sets over time — the eviction stress shape)."""
+    words: list[int] = []
+    for k in range(n_loops):
+        words += [add_imm(2, 2, j + 1) for j in range(k % 3)]
+        words += [
+            add_imm(1, 0, iters),
+            add_imm(1, 1, 0x1FFF),
+            bz(1, 8),
+            bz(0, -8),
+        ]
+    return words + [HALT_WORD]
+
+
+def tree_signature(rec):
+    """Canonical structural form of a record tree (identity-free)."""
+    if rec.is_end:
+        return ("E",)
+    if rec.is_verify:
+        return (
+            "V",
+            rec.num,
+            rec.data,
+            tuple(sorted(
+                (repr(val), tree_signature(s)) for val, s in rec.succ.items()
+            )),
+        )
+    return ("A", rec.num, rec.data, tree_signature(rec.next))
+
+
+def end_record_ids(rec):
+    out = []
+    stack = [rec]
+    while stack:
+        r = stack.pop()
+        if r.is_end:
+            out.append(id(r))
+        elif r.is_verify:
+            stack.extend(r.succ.values())
+        else:
+            stack.append(r.next)
+    return out
+
+
+def run_stats_tuple(stats):
+    return (
+        stats.steps_total,
+        stats.steps_fast,
+        stats.steps_slow,
+        stats.steps_recovered,
+        stats.actions_replayed,
+    )
+
+
+# -- pack/unpack round trip -----------------------------------------------------
+
+
+class TestPackUnpackRoundTrip:
+    def recorded_cache(self, toy, words):
+        ctx, engine, _ = run_memoized(
+            toy, words, trace_jit=False, flat_pack=False
+        )
+        return engine.cache
+
+    def test_round_trip_preserves_structure_and_bytes(self, toy):
+        cache = self.recorded_cache(toy, countdown_program(30))
+        entries = [e for e in cache.entries.values() if e.complete]
+        assert entries
+        for entry in entries:
+            before_bytes = cache.stats.bytes_current
+            before_sig = tree_signature(entry.first)
+            before_ends = sorted(end_record_ids(entry.first))
+
+            cache.pack_entry(entry)
+            assert entry.packed is not None and entry.first is None
+            assert cache.stats.bytes_current == cache.recount_bytes()
+
+            cache.unpack_entry(entry)
+            assert entry.packed is None and entry.first is not None
+            assert tree_signature(entry.first) == before_sig
+            # EndRecord objects come back by identity, so likely_next
+            # links into this entry's step boundaries stay valid.
+            assert sorted(end_record_ids(entry.first)) == before_ends
+            assert cache.stats.bytes_current == before_bytes
+            assert cache.stats.bytes_current == cache.recount_bytes()
+        assert cache.stats.packs == len(entries)
+        assert cache.stats.unpacks == len(entries)
+        # Every reference was released on unpack.
+        assert cache.pool.live_values() == 0
+        assert cache.pool.bytes_live == 0
+
+    def test_packed_form_is_smaller(self, toy):
+        cache = self.recorded_cache(toy, multi_loop_program(4, 40))
+        unpacked = cache.stats.bytes_current
+        for entry in list(cache.entries.values()):
+            if entry.complete:
+                cache.pack_entry(entry)
+        assert cache.stats.bytes_current < unpacked
+        assert cache.stats.bytes_current == cache.recount_bytes()
+
+    def test_entry_first_record_reads_packed_without_accounting(self, toy):
+        cache = self.recorded_cache(toy, countdown_program(10))
+        entry = next(e for e in cache.entries.values() if e.complete)
+        sig = tree_signature(entry.first)
+        cache.pack_entry(entry)
+        before = cache.stats.bytes_current
+        assert tree_signature(entry_first_record(entry)) == sig
+        # Inspection must not disturb the accounting or the layout.
+        assert cache.stats.bytes_current == before
+        assert entry.packed is not None
+
+    def test_pack_records_interns_repeated_data(self):
+        pool = InternPool()
+        cache = ActionCache()
+        m = Memoizer(cache)
+        data = (0x1000, 0x1000, 7)
+        for key in ((1,), (2,)):
+            m.begin_step(key)
+            m.action(0, data)
+            m.action(1, data)
+            m.end_step()
+        chains = []
+        for entry in cache.entries.values():
+            chain, _ = _pack_records(entry.first, pool)
+            chains.append(chain)
+        # Four records, one pooled value.
+        assert pool.live_values() == 1
+        assert pool.hits == 3
+        first = _packed_to_records(chains[0])
+        assert first.data == data and first.next.data == data
+
+    def test_incomplete_chain_refuses_to_pack(self):
+        cache = ActionCache()
+        m = Memoizer(cache)
+        m.begin_step((1,))
+        m.action(0, (1,))
+        # No end_step: the chain has no end marker.
+        entry = cache.entries[(1,)]
+        from repro.facile.runtime import SimulationError
+        with pytest.raises(SimulationError):
+            _pack_records(entry.first, InternPool())
+
+
+# -- packed replay equivalence --------------------------------------------------
+
+
+class TestPackedReplayEquivalence:
+    def run_both(self, toy, words, **kw):
+        packed = run_memoized(toy, words, trace_jit=False, flat_pack=True, **kw)
+        plain = run_memoized(toy, words, trace_jit=False, flat_pack=False, **kw)
+        return packed, plain
+
+    def test_identical_simulation_and_run_stats(self, toy):
+        (pc, pe, ps), (cc, ce, cs) = self.run_both(toy, countdown_program(200))
+        assert pc.halted and cc.halted
+        assert registers(pc) == registers(cc)
+        assert pc.retired_total == cc.retired_total
+        assert run_stats_tuple(ps) == run_stats_tuple(cs)
+        assert pe.cache.stats.packs > 0
+        # Steady-state loop replays come from the packed form.
+        assert ps.steps_fast > ps.steps_slow
+
+    def test_recovery_unpacks_and_repacks(self, toy):
+        # The countdown's bz verify forks (not-taken on the back edge,
+        # taken at exit), so the packed entry must unpack for recovery
+        # and repack with the grown tree.
+        (pc, pe, ps), (cc, ce, cs) = self.run_both(toy, countdown_program(50))
+        assert ps.steps_recovered == cs.steps_recovered > 0
+        stats = pe.cache.stats
+        assert stats.unpacks >= 1
+        assert stats.packs > stats.unpacks  # repacked after recovery
+        for entry in pe.cache.entries.values():
+            if entry.complete:
+                assert entry.packed is not None
+        assert stats.bytes_current == pe.cache.recount_bytes()
+
+    def test_accounting_exact_after_run(self, toy):
+        (pc, pe, _), (cc, ce, _) = self.run_both(
+            toy, multi_loop_program(4, 40)
+        )
+        for engine in (pe, ce):
+            assert (
+                engine.cache.stats.bytes_current
+                == engine.cache.recount_bytes()
+            )
+        assert (
+            pe.cache.stats.bytes_current < ce.cache.stats.bytes_current
+        )
+
+    def test_packed_replay_with_profile(self, toy):
+        ctx, engine, _ = run_memoized(
+            toy, countdown_program(5), max_steps=0, flat_pack=True,
+            trace_jit=False,
+        )
+        engine.profile()
+        stats = engine.run(max_steps=10_000)
+        assert ctx.halted
+        assert stats.steps_fast > 0
+        # The profiled packed path attributes every replayed action.
+        assert sum(engine.action_profile.values()) == stats.actions_replayed
+
+    def test_chunked_run_matches_single_run(self, toy):
+        # The chained packed loop must respect max_steps budgets.
+        words = countdown_program(120)
+        one_ctx, _, one_stats = run_memoized(
+            toy, words, trace_jit=False, flat_pack=True
+        )
+        ctx, engine, _ = run_memoized(
+            toy, words, max_steps=0, trace_jit=False, flat_pack=True
+        )
+        while not ctx.halted:
+            engine.run(max_steps=7)
+        assert registers(ctx) == registers(one_ctx)
+        # run() returns cumulative stats; the chained packed loop must
+        # have respected every 7-step budget yet covered the same run.
+        assert engine.stats.steps_total == one_stats.steps_total
+
+    def test_trace_jit_compiles_from_packed_entries(self, toy):
+        words = countdown_program(400)
+        packed_ctx, packed_engine, _ = run_memoized(
+            toy, words, trace_jit=True, trace_threshold=8, flat_pack=True
+        )
+        plain_ctx, plain_engine, _ = run_memoized(
+            toy, words, trace_jit=True, trace_threshold=8, flat_pack=False
+        )
+        assert packed_engine.traces.stats.traces_compiled > 0
+        assert (
+            packed_engine.traces.stats.traces_compiled
+            == plain_engine.traces.stats.traces_compiled
+        )
+        assert registers(packed_ctx) == registers(plain_ctx)
+        assert packed_ctx.retired_total == plain_ctx.retired_total
+
+
+# -- eviction under interning ---------------------------------------------------
+
+
+class TestPackedEviction:
+    @pytest.mark.parametrize("policy", ["clear", "generational"])
+    def test_limited_run_matches_unlimited(self, toy, policy):
+        words = multi_loop_program(5, 30)
+        base_ctx, base_engine, _ = run_memoized(
+            toy, words, trace_jit=False, flat_pack=True
+        )
+        limit = base_engine.cache.stats.bytes_current // 3
+        ctx, engine, _ = run_memoized(
+            toy, words, trace_jit=False, flat_pack=True,
+            cache_limit_bytes=limit, cache_evict=policy,
+        )
+        assert registers(ctx) == registers(base_ctx)
+        assert ctx.retired_total == base_ctx.retired_total
+        stats = engine.cache.stats
+        if policy == "clear":
+            assert stats.clears > 0
+        else:
+            assert stats.evictions > 0 and stats.clears == 0
+        assert stats.bytes_current == engine.cache.recount_bytes()
+
+    def test_generational_refunds_are_exact_per_round(self, toy):
+        words = multi_loop_program(5, 30)
+        ctx, engine, _ = run_memoized(
+            toy, words, max_steps=0, trace_jit=False, flat_pack=True,
+            cache_limit_bytes=1_200, cache_evict="generational",
+        )
+        cache = engine.cache
+        rounds = 0
+        while not ctx.halted:
+            before = cache.stats.evictions
+            engine.run(max_steps=50)
+            if cache.stats.evictions > before:
+                rounds += 1
+                # Audit immediately after each eviction round: every
+                # refund (entry-local bytes + last-reference pool
+                # releases) must balance the incremental ledger.
+                assert cache.stats.bytes_current == cache.recount_bytes()
+        assert rounds >= 2
+
+    def test_full_clear_empties_pool(self, toy):
+        ctx, engine, _ = run_memoized(
+            toy, multi_loop_program(4, 30), trace_jit=False, flat_pack=True,
+            cache_limit_bytes=1_200, cache_evict="clear",
+        )
+        cache = engine.cache
+        assert cache.stats.clears > 0
+        cache.reclaim()
+        assert cache.pool.bytes_live == 0
+        assert cache.pool.live_values() == 0
+        assert cache.stats.bytes_current == 0 == cache.recount_bytes()
+
+    def test_stale_overwrite_releases_pool_refs(self):
+        cache = ActionCache(flat_pack=True)
+        m = Memoizer(cache)
+        m.begin_step((1,))
+        m.action(0, (42, 42))
+        m.end_step()
+        assert cache.entries[(1,)].packed is not None
+        live = cache.pool.live_values()
+        assert live > 0
+        # Re-recording the same key must refund the packed entry,
+        # pool references included.
+        cache.create_entry((1,))
+        assert cache.pool.live_values() < live
+        assert cache.stats.bytes_current == cache.recount_bytes()
+
+
+# -- the interning pool ---------------------------------------------------------
+
+
+class TestInternPool:
+    def test_second_reference_is_free(self):
+        pool = InternPool()
+        idx1, charged1 = pool.intern((1, 2, 3))
+        idx2, charged2 = pool.intern((1, 2, 3))
+        assert idx1 == idx2
+        assert charged1 > 0 and charged2 == 0
+        assert pool.hits == 1 and pool.misses == 1
+        assert pool.bytes_saved == charged1
+
+    def test_release_refunds_only_last_reference(self):
+        pool = InternPool()
+        idx, charged = pool.intern(("x", 9))
+        pool.intern(("x", 9))
+        assert pool.release(idx) == 0
+        assert pool.bytes_live == charged
+        assert pool.release(idx) == charged
+        assert pool.bytes_live == 0
+        assert pool.live_values() == 0
+
+    def test_free_list_recycles_slots(self):
+        pool = InternPool()
+        idx, _ = pool.intern((1,))
+        pool.release(idx)
+        idx2, _ = pool.intern((2,))
+        assert idx2 == idx  # the freed slot is reused
+        assert pool.values[idx2] == (2,)
+
+    def test_equality_keying_conflates_equal_values(self):
+        # True == 1: the pool keys by equality, same as the verify
+        # successor dicts downstream, so both map to one slot.
+        pool = InternPool()
+        a, _ = pool.intern(True)
+        b, _ = pool.intern(1)
+        assert a == b
+
+    def test_clear_keeps_cumulative_counters(self):
+        pool = InternPool()
+        pool.intern((1,))
+        pool.intern((1,))
+        saved = pool.bytes_saved
+        pool.clear()
+        assert pool.bytes_live == 0 and pool.live_values() == 0
+        assert pool.bytes_saved == saved and pool.hits == 1
+        idx, _ = pool.intern((3,))
+        assert pool.values[idx] == (3,)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["intern", "release"]),
+                st.integers(min_value=0, max_value=7),
+            ),
+            max_size=60,
+        )
+    )
+    def test_randomized_audit(self, ops):
+        """Any intern/release sequence keeps the incremental ledger
+        equal to a from-scratch recount, and refunds sum exactly."""
+        pool = InternPool()
+        live_refs: dict[int, int] = {}
+        charged = freed = 0
+        for op, v in ops:
+            if op == "intern":
+                idx, c = pool.intern((v, v * 2))
+                charged += c
+                live_refs[idx] = live_refs.get(idx, 0) + 1
+            else:
+                held = [i for i, n in live_refs.items() if n > 0]
+                if not held:
+                    continue
+                idx = held[v % len(held)]
+                freed += pool.release(idx)
+                live_refs[idx] -= 1
+            assert pool.bytes_live == pool.recount()
+            assert pool.bytes_live == charged - freed
+
+
+# -- dict placeholder data ------------------------------------------------------
+
+
+class TestDictPlaceholderData:
+    def test_dict_data_survives_pack_round_trip(self):
+        cache = ActionCache(flat_pack=False)
+        m = Memoizer(cache)
+        data = freeze({"pc": 0x1000, "regs": [1, 2]})
+        assert data[0] is DICT_TAG
+        m.begin_step((1,))
+        m.action(0, data)
+        m.begin_verify(1, data)
+        m.note_verify(freeze({"taken": True}))
+        m.action(2, ())
+        m.end_step()
+        entry = cache.entries[(1,)]
+        sig = tree_signature(entry.first)
+        cache.pack_entry(entry)
+        cache.unpack_entry(entry)
+        assert tree_signature(entry.first) == sig
+        assert thaw(entry.first.data) == {"pc": 0x1000, "regs": [1, 2]}
+
+    def test_frozen_values_are_never_dicts(self):
+        # The packed replay loop discriminates a single-successor
+        # expected value from a jump table by class, which is only
+        # sound because freeze never emits a dict.
+        for v in ({}, {"a": 1}, {"a": {"b": [1, {"c": 2}]}}, [1, {2: 3}]):
+            assert not isinstance(freeze(v), dict)
+
+    def test_thaw_inverts_freeze_on_nested_dicts(self):
+        v = {"a": [1, {"b": (2, 3)}], "c": {"d": [4]}}
+        assert thaw(freeze(v)) == {"a": [1, {"b": [2, 3]}], "c": {"d": [4]}}
+
+
+# -- depth torture --------------------------------------------------------------
+
+
+class TestDepthTorture:
+    DEPTH = 50_000
+
+    def nested_list(self):
+        v = 7
+        for _ in range(self.DEPTH):
+            v = [v]
+        return v
+
+    def test_freeze_thaw_beyond_recursion_limit(self):
+        frozen = freeze(self.nested_list())
+        depth = 0
+        while isinstance(frozen, tuple):
+            frozen = frozen[0]
+            depth += 1
+        assert depth == self.DEPTH and frozen == 7
+
+    def test_value_bytes_beyond_recursion_limit(self):
+        frozen = freeze(self.nested_list())
+        # 8 for the root, 8 per nested element (scalar included).
+        assert value_bytes(frozen) == 8 * (self.DEPTH + 1)
+
+    def test_thaw_beyond_recursion_limit(self):
+        thawed = thaw(freeze(self.nested_list()))
+        depth = 0
+        while isinstance(thawed, list):
+            thawed = thawed[0]
+            depth += 1
+        assert depth == self.DEPTH and thawed == 7
+
+    def test_deep_dict_nesting(self):
+        v = 1
+        for _ in range(5_000):
+            v = {"k": v}
+        frozen = freeze(v)
+        assert value_bytes(frozen) > 0
+        thawed = thaw(frozen)
+        depth = 0
+        while isinstance(thawed, dict):
+            thawed = thawed["k"]
+            depth += 1
+        assert depth == 5_000 and thawed == 1
+
+
+# -- the FastSim port -----------------------------------------------------------
+
+
+class TestFastSimFlatPack:
+    SRC = """
+        set 48, %o0
+        clr %o1
+    loop:
+        and %o0, 1, %o2
+        cmp %o2, 0
+        be even
+        nop
+        add %o1, 3, %o1
+        b join
+        nop
+    even:
+        add %o1, 5, %o1
+    join:
+        subcc %o0, 1, %o0
+        bne loop
+        nop
+        halt
+    """
+
+    def run_pair(self, **kw):
+        from repro.isa.assembler import assemble
+        from repro.ooo.fastsim import run_fastsim
+
+        program = assemble(self.SRC)
+        packed = run_fastsim(program, memoize=True, flat_pack=True, **kw)
+        plain = run_fastsim(program, memoize=True, flat_pack=False, **kw)
+        return packed, plain
+
+    @staticmethod
+    def sig(stats):
+        return (stats.cycles, stats.retired, stats.branches,
+                stats.mispredicts, stats.loads, stats.stores)
+
+    def test_identical_cycles_and_exact_accounting(self):
+        packed, plain = self.run_pair()
+        assert self.sig(packed.stats) == self.sig(plain.stats)
+        assert packed.func.regs == plain.func.regs
+        assert packed.mstats.packs > 0
+        assert packed.mstats.bytes_estimate == packed.recount_bytes()
+        assert plain.mstats.bytes_estimate == plain.recount_bytes()
+        assert packed.mstats.bytes_estimate < plain.mstats.bytes_estimate
+
+    def test_check_miss_unpacks_and_repacks(self):
+        # The alternating branch defeats the predictor, so packed
+        # cycles hit check misses -> unpack, recover, repack.
+        packed, plain = self.run_pair()
+        assert packed.mstats.misses_check == plain.mstats.misses_check > 0
+        assert packed.mstats.unpacks > 0
+        assert packed.mstats.packs > packed.mstats.unpacks
+        for root in packed.memo.values():
+            assert root.packed is not None
+        assert packed.pool.live_values() > 0
+
+    @pytest.mark.parametrize("evict", ["clear", "generational"])
+    def test_limited_matches_unlimited(self, evict):
+        base, _ = self.run_pair()
+        limit = base.mstats.bytes_estimate // 3
+        packed, plain = self.run_pair(
+            memo_limit_bytes=limit, memo_evict=evict
+        )
+        assert self.sig(packed.stats) == self.sig(base.stats)
+        assert self.sig(packed.stats) == self.sig(plain.stats)
+        if evict == "clear":
+            assert packed.mstats.clears > 0
+        else:
+            assert packed.mstats.evictions > 0
+        assert packed.mstats.bytes_estimate == packed.recount_bytes()
+        assert plain.mstats.bytes_estimate == plain.recount_bytes()
+
+
+# -- the packed stream encoding itself ------------------------------------------
+
+
+class TestStreamEncoding:
+    def pack_one(self, build):
+        cache = ActionCache()
+        m = Memoizer(cache)
+        build(m)
+        pool = InternPool()
+        chain, charged = _pack_records(cache.entries[(1,)].first, pool)
+        return chain, pool, charged
+
+    def test_straight_line_layout(self):
+        def build(m):
+            m.begin_step((1,))
+            m.action(3, (10,))
+            m.action(4, (11,))
+            m.end_step()
+
+        chain, pool, charged = self.pack_one(build)
+        assert list(chain.nums) == [3, 4, ENDMARK]
+        assert chain.nums.tolist() == chain.knums
+        assert chain.data[-1] == -1 and chain.datavals[-1] is None
+        assert chain.sux[0] is None and chain.sux[1] is None
+        assert chain.sux[2] is chain.ends[0]
+        assert chain.n_records == 2 and chain.depth == 0
+        assert charged == pool.bytes_live
+
+    def test_single_successor_verify_falls_through(self):
+        def build(m):
+            m.begin_step((1,))
+            m.begin_verify(2, (5,))
+            m.note_verify((7, 7))
+            m.action(0, ())
+            m.end_step()
+
+        chain, pool, _ = self.pack_one(build)
+        assert chain.nums[0] == ~2  # verify slots store ~num
+        # Canonical lane: pool index of the expected value; replay
+        # view: the pooled value itself (== fall-through, no dict).
+        assert pool.values[chain.succ[0]] == (7, 7)
+        assert chain.sux[0] == (7, 7)
+        assert not isinstance(chain.sux[0], dict)
+        assert len(chain.tables) == 0
+
+    def test_multi_successor_verify_builds_jump_table(self):
+        def build(m):
+            m.begin_step((1,))
+            m.begin_verify(2, ())
+            m.note_verify(0)
+            m.action(0, ())
+            m.end_step()
+
+        cache = ActionCache()
+        m = Memoizer(cache)
+        build(m)
+        entry = cache.entries[(1,)]
+        # Grow a second successor at the verify fork, the way miss
+        # recovery does: replay to the forking verify, feed back the
+        # missed value, then record the new arm.
+        m.begin_recovery(entry, [1])
+        m.begin_verify(2, ())
+        assert m.pop_verify() == 1
+        m.action(1, ())
+        m.end_step()
+        pool = InternPool()
+        chain, _ = _pack_records(entry.first, pool)
+        assert len(chain.tables) == 1
+        table = chain.tables[0]
+        assert set(table) == {0, 1}
+        assert chain.sux[0] is table  # the replay view shares the dict
+        assert chain.succ[0] == ~0
+        assert chain.depth == 1
+        # Round trip restores both arms.
+        rebuilt = _packed_to_records(chain)
+        assert set(rebuilt.succ) == {0, 1}
