@@ -9,8 +9,15 @@ cache recorded and which actions are hot.
 Run:  python examples/compiler_tour.py
 """
 
-from repro.facile import FastForwardEngine, compile_source
-from repro.facile.inspect import cache_summary, dump_entry, explain_division, hot_actions
+from repro.facile import FastForwardEngine, compile_source, run_check
+from repro.facile.inspect import (
+    cache_summary,
+    dump_entry,
+    explain_check,
+    explain_division,
+    hot_actions,
+    why_dynamic,
+)
 from repro.facile.inline import flatten_program
 from repro.facile.parser import parse
 from repro.facile.pprint import format_stmt
@@ -89,6 +96,16 @@ def main() -> None:
 
     banner("7. Hot actions")
     print(hot_actions(engine, result, top=5))
+
+    banner("8. Static analysis (repro check)")
+    # The tour program steers its loop-exit branch with a *dynamic*
+    # global and never pins it with ?verify, so the compiler has to
+    # insert the result test implicitly — exactly what FAC202 flags.
+    report = run_check(SOURCE, "<tour>")
+    print(explain_check(report))
+    print("\nwhy is the branch condition dynamic?")
+    for line in why_dynamic(result, "cycles_done"):
+        print(f"  {line}")
 
 
 if __name__ == "__main__":

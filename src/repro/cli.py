@@ -20,6 +20,13 @@ Commands
 
 ``workloads``
     List or run the SPEC95-analogue workloads.
+
+``check FILE.fac ...``
+    Run the static-analysis passes (batched diagnostics, BTA-soundness
+    audit, pattern lints, cache-blowup prediction) over Facile sources
+    and/or the built-in simulators.  Exits 0 when clean, 1 on
+    diagnostics (warnings count with ``--werror``), 2 on unreadable
+    input.
 """
 
 from __future__ import annotations
@@ -198,6 +205,52 @@ def _cmd_minic(args: argparse.Namespace) -> int:
     return 0
 
 
+_BUILTIN_SIMS = ("functional", "inorder", "ooo")
+
+
+def _builtin_sim_source(name: str) -> str:
+    if name == "functional":
+        from .isa.facile_src import functional_sim_source
+
+        return functional_sim_source()
+    if name == "inorder":
+        from .ooo.facile_inorder import inorder_sim_source
+
+        return inorder_sim_source()
+    from .ooo.facile_ooo import ooo_sim_source
+
+    return ooo_sim_source()
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .facile.analysis import check_file, run_check
+
+    only = set(args.only) if args.only else None
+    reports = []
+    for name in _BUILTIN_SIMS if args.builtin == "all" else (
+        [args.builtin] if args.builtin else []
+    ):
+        reports.append(
+            run_check(_builtin_sim_source(name), f"<builtin:{name}>", only=only)
+        )
+    for path in args.files:
+        reports.append(check_file(path, only=only))
+    if not reports:
+        print("check: no inputs (pass files or --builtin)", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        import json
+
+        print(json.dumps(
+            {"version": 1, "files": [r.to_json() for r in reports]}, indent=2
+        ))
+    else:
+        for report in reports:
+            print(report.render_text())
+    return max(r.exit_code(werror=args.werror) for r in reports)
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     if args.name is None:
         print(f"{'name':<10} {'class':<5} description")
@@ -248,6 +301,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--emit-asm", action="store_true", help="print generated assembly")
     p.add_argument("--max-steps", type=int, default=50_000_000)
     p.set_defaults(func=_cmd_minic)
+
+    p = sub.add_parser("check", help="run static analysis over Facile sources")
+    p.add_argument("files", nargs="*", help="Facile source files to check")
+    p.add_argument(
+        "--builtin", choices=[*_BUILTIN_SIMS, "all"],
+        help="also check a built-in simulator description",
+    )
+    p.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default text)",
+    )
+    p.add_argument(
+        "--werror", action="store_true",
+        help="treat warnings as errors (exit 1 when any warning fires)",
+    )
+    p.add_argument(
+        "--only", action="append", metavar="PASS",
+        help="run only the named analysis pass (repeatable)",
+    )
+    p.set_defaults(func=_cmd_check)
 
     p = sub.add_parser("workloads", help="list or run the SPEC95-analogue suite")
     p.add_argument("name", nargs="?", help="workload to run (omit to list)")

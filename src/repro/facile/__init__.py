@@ -13,13 +13,17 @@ public surface:
 * :class:`ActionCache` — the specialized action cache.
 """
 
+from .analysis import CheckReport, check_file, run_check
 from .compiler import CompilationResult, compile_source
+from .diagnostics import Diagnostic, DiagnosticError, DiagnosticSink
 from .inspect import (
     cache_summary,
     dump_entry,
+    explain_check,
     explain_division,
     hot_actions,
     trace_summary,
+    why_dynamic,
 )
 from .tracecomp import Trace, TraceManager
 from .pprint import format_expr, format_program, format_stmt
@@ -36,8 +40,14 @@ from .source import FacileError, LexError, ParseError, SemanticError
 
 __all__ = [
     "ActionCache",
+    "CheckReport",
+    "Diagnostic",
+    "DiagnosticError",
+    "DiagnosticSink",
     "cache_summary",
+    "check_file",
     "dump_entry",
+    "explain_check",
     "explain_division",
     "format_expr",
     "format_program",
@@ -58,4 +68,6 @@ __all__ = [
     "SimContext",
     "SimulationError",
     "compile_source",
+    "run_check",
+    "why_dynamic",
 ]

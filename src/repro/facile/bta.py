@@ -38,8 +38,9 @@ from dataclasses import dataclass, field
 
 from . import ast_nodes as A
 from .builtins import BUILTIN_FUNCS, PURE_ATTRS, QUEUE_ATTRS, STREAM_ATTRS
+from .diagnostics import DiagnosticSink
 from .inline import FlatMain
-from .source import SemanticError
+from .source import SemanticError, SourceSpan
 
 RT_STATIC = 0
 DYNAMIC = 1
@@ -62,6 +63,19 @@ class Division:
     local_like_globals: set[str] = field(default_factory=set)
     assigned_globals: set[str] = field(default_factory=set)
     read_globals: set[str] = field(default_factory=set)
+    sink: DiagnosticSink | None = None
+
+    def _report(self, message: str, span: SourceSpan) -> None:
+        """Escape hatch for malformed post-flattening trees.
+
+        With a sink attached the problem is collected (and the caller
+        recovers with a conservative answer); without one, raise as
+        before.
+        """
+        if self.sink is not None:
+            self.sink.emit("FAC030", message, span)
+        else:
+            raise SemanticError(message, span)
 
     def var_bt(self, name: str) -> int:
         return self.bt.get(name, DYNAMIC)
@@ -99,8 +113,10 @@ class Division:
                 return max(base, args)
             if expr.name in QUEUE_ATTRS:
                 return self.expr_bt(expr.base)
-            raise SemanticError(f"attribute ?{expr.name} escaped flattening", expr.span)
-        raise SemanticError(f"unhandled expression {type(expr).__name__}", expr.span)
+            self._report(f"attribute ?{expr.name} escaped flattening", expr.span)
+            return DYNAMIC
+        self._report(f"unhandled expression {type(expr).__name__}", expr.span)
+        return DYNAMIC
 
     @property
     def flush_globals(self) -> list[str]:
@@ -117,9 +133,9 @@ class Division:
         )
 
 
-def analyze_binding_times(flat: FlatMain) -> Division:
+def analyze_binding_times(flat: FlatMain, sink: DiagnosticSink | None = None) -> Division:
     """Run the full binding-time analysis over a flattened step function."""
-    division = Division(flat)
+    division = Division(flat, sink=sink)
     global_names = set(flat.info.globals)
     division.assigned_globals = _assigned_globals(flat.body, global_names)
     division.read_globals = _read_globals(flat.body, global_names)
@@ -189,8 +205,9 @@ def _walk_stmt_bt(stmt: A.Stmt, division: Division) -> bool:
             raise_var(target.ident, rhs)
         elif isinstance(target, A.Index):
             if not isinstance(target.base, A.Name):
-                raise SemanticError("nested element assignment unsupported", stmt.span)
-            raise_var(target.base.ident, max(rhs, division.expr_bt(target.index)))
+                division._report("nested element assignment unsupported", stmt.span)
+            else:
+                raise_var(target.base.ident, max(rhs, division.expr_bt(target.index)))
     elif isinstance(stmt, A.ExprStmt):
         expr = stmt.expr
         if isinstance(expr, A.Attr) and expr.name in QUEUE_ATTRS:
@@ -210,7 +227,9 @@ def _walk_stmt_bt(stmt: A.Stmt, division: Division) -> bool:
     elif isinstance(stmt, (A.Break, A.Continue, A.Return)):
         pass
     else:
-        raise SemanticError(f"unexpected statement {type(stmt).__name__} after flattening", stmt.span)
+        division._report(
+            f"unexpected statement {type(stmt).__name__} after flattening", stmt.span
+        )
     return changed
 
 

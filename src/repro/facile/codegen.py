@@ -878,7 +878,10 @@ class CodeGenerator:
         exec(compile(full_src, f"<facile:{self.name}>", "exec"), namespace)
 
         if "init" not in self.slots:
-            raise SemanticError("simulator must declare a global 'init' key variable")
+            raise SemanticError(
+                "simulator must declare a global 'init' key variable",
+                self.info.program.span,
+            )
         division_summary = {
             "n_actions": len(self.actions),
             "n_verify_actions": sum(1 for a in self.actions if a.is_verify),

@@ -13,15 +13,17 @@ or :class:`~repro.facile.runtime.PlainEngine` (conventional).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .bta import Division, analyze_binding_times, insert_dynamic_result_tests
 from .codegen import CodeGenerator
+from .diagnostics import Diagnostic, DiagnosticSink
 from .inline import FlatMain, flatten_program
 from .optimize import fold_constants
 from .parser import parse
 from .runtime import CompiledSimulator
 from .sema import ProgramInfo, analyze
+from .source import SourceBuffer
 
 
 @dataclass
@@ -35,6 +37,9 @@ class CompilationResult:
     division: Division
     n_dynamic_result_tests: int
     n_constant_folds: int = 0
+    #: Warnings/infos from the static-analysis passes; populated only
+    #: when ``compile_source(..., check=True)``.
+    diagnostics: list[Diagnostic] = field(default_factory=list)
 
 
 def compile_source(
@@ -46,6 +51,7 @@ def compile_source(
     keep_flushed: tuple[str, ...] = ("init",),
     coalesce: bool = True,
     fold: bool = True,
+    check: bool = False,
 ) -> CompilationResult:
     """Compile Facile source text into a fast-forwarding simulator.
 
@@ -55,14 +61,34 @@ def compile_source(
     ``coalesce=False`` reverts to one action per dynamic statement
     (Figure 8's one-statement-per-block granularity), used by the
     ablation benchmarks.  ``fold`` controls compile-time constant
-    folding (§6.3 item 5).
+    folding (§6.3 item 5).  ``check=True`` additionally runs the
+    static-analysis passes (see :mod:`repro.facile.analysis`): errors
+    raise the usual batched ``SemanticError``; warnings and infos land
+    in ``CompilationResult.diagnostics``.
     """
+    sink: DiagnosticSink | None = None
+    if check:
+        sink = DiagnosticSink(SourceBuffer(source, filename))
     program = parse(source, filename)
-    info = analyze(program)
+    info = analyze(program, sink=sink)
+    if sink is not None:
+        from .analysis import AnalysisContext, run_passes
+
+        sink.checkpoint()
+        ctx = AnalysisContext(info, sink.buffer)
+        run_passes("ast", ctx, sink)
     flat = flatten_program(info)
     n_folds = fold_constants(flat) if fold else 0
-    division = analyze_binding_times(flat)
+    division = analyze_binding_times(flat, sink)
+    if sink is not None:
+        ctx.flat, ctx.division = flat, division
+        run_passes("bta", ctx, sink)
+        sink.checkpoint()
     n_tests = insert_dynamic_result_tests(flat, division)
+    if sink is not None:
+        ctx.n_inserted = n_tests
+        run_passes("post", ctx, sink)
+        sink.checkpoint()
     generator = CodeGenerator(
         division,
         name=name,
@@ -78,4 +104,5 @@ def compile_source(
         division=division,
         n_dynamic_result_tests=n_tests,
         n_constant_folds=n_folds,
+        diagnostics=list(sink.diagnostics) if sink is not None else [],
     )

@@ -70,7 +70,7 @@ class Flattener:
     def flatten(self, fun_name: str = "main") -> FlatMain:
         fun = self.info.functions.get(fun_name)
         if fun is None:
-            raise SemanticError(f"no function named {fun_name!r}")
+            raise SemanticError(f"no function named {fun_name!r}", self.info.program.span)
         env: dict[str, A.Expr] = {}
         params: list[str] = []
         for p in fun.params:
@@ -263,7 +263,7 @@ class Flattener:
                     A.IntLit(self.info.patterns.pattern_index(n), span=case.span)
                     for n in case.pat_names
                 ]
-                token_width = self.info.patterns.token_width_for(case.pat_names)
+                token_width = self.info.patterns.token_width_for(case.pat_names, case.span)
                 arm_env = dict(env)
                 self._bind_fields(arm_env, case.pat_names[0], w_var)
                 body = self._flatten_body(case.body, arm_env)

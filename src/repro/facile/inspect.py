@@ -10,6 +10,8 @@ chains at dynamic result tests.
 
 from __future__ import annotations
 
+from .analysis import CheckReport
+from .analysis import why_dynamic as _why_dynamic
 from .bta import DYNAMIC
 from .compiler import CompilationResult
 from .runtime import ActionCache, CacheEntry, entry_first_record
@@ -48,6 +50,32 @@ def explain_division(result: CompilationResult) -> str:
         f"({summary['n_verify_actions']} dynamic result tests)"
     )
     return "\n".join(lines)
+
+
+def explain_check(report: CheckReport) -> str:
+    """Human-readable static-analysis report (``repro check`` output
+    plus which passes actually ran)."""
+    counts = report.sink.counts()
+    lines = [f"static analysis for {report.file!r}"]
+    lines.append(f"  passes run: {', '.join(report.passes) or '(none)'}")
+    lines.append(
+        f"  verdict: {'clean' if report.clean else 'dirty'}"
+        f" ({counts['error']} error(s), {counts['warning']} warning(s),"
+        f" {counts['info']} info(s), {len(report.sink.suppressed)} suppressed)"
+    )
+    body = report.render_text()
+    return "\n".join(lines) + ("\n" + body if body else "")
+
+
+def why_dynamic(result: CompilationResult, name: str) -> list[str]:
+    """Explain why ``name`` is dynamic in a compiled simulator.
+
+    Returns provenance lines tracing the variable back to the dynamic
+    roots (extern calls, non-pure built-ins, dynamic globals) that
+    forced it dynamic; empty if the variable is run-time static.
+    ``name`` may be a source-level name or a flattened unique name.
+    """
+    return _why_dynamic(result.flat, result.division, name)
 
 
 def dump_entry(entry: CacheEntry, max_depth: int = 200) -> str:

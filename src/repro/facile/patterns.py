@@ -19,7 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from . import ast_nodes as A
-from .source import SemanticError
+from .diagnostics import DiagnosticSink
+from .source import SourceSpan, UNKNOWN_SPAN
 
 
 @dataclass(frozen=True)
@@ -80,6 +81,7 @@ class PatternDef:
     index: int
     conjuncts: list[tuple[Constraint, ...]]
     token: str
+    span: SourceSpan = UNKNOWN_SPAN
 
     def matches(self, word: int) -> bool:
         return any(all(c.matches(word) for c in conj) for conj in self.conjuncts)
@@ -104,25 +106,40 @@ class PatternTable:
                 return pat.index
         return -1
 
-    def token_width_for(self, pat_names: list[str]) -> int:
+    def token_width_for(self, pat_names: list[str], span: SourceSpan = UNKNOWN_SPAN) -> int:
         widths = {self.token_widths[self.by_name[n].token] for n in pat_names}
         if len(widths) != 1:
-            raise SemanticError(f"patterns {pat_names} span tokens of different widths")
+            from .source import SemanticError
+
+            raise SemanticError(
+                f"patterns {pat_names} span tokens of different widths", span
+            )
         return widths.pop()
 
 
-def build_pattern_table(program: A.Program) -> PatternTable:
-    """Resolve token/field/pat declarations into a :class:`PatternTable`."""
+def build_pattern_table(program: A.Program, sink: DiagnosticSink | None = None) -> PatternTable:
+    """Resolve token/field/pat declarations into a :class:`PatternTable`.
+
+    With an external `sink`, every problem is collected and the function
+    recovers (keep-first on duplicates, never-matching conjunct list on
+    unsatisfiable patterns) so later phases can still run.  Without one,
+    a private sink raises a batched ``SemanticError`` at the end.
+    """
+    own_sink = sink is None
+    if sink is None:
+        sink = DiagnosticSink()
     fields: dict[str, FieldInfo] = {}
     token_widths: dict[str, int] = {}
     for decl in program.decls:
         if isinstance(decl, A.TokenDecl):
             if decl.name in token_widths:
-                raise SemanticError(f"duplicate token {decl.name!r}", decl.span)
+                sink.emit("FAC011", f"duplicate token {decl.name!r}", decl.span)
+                continue
             token_widths[decl.name] = decl.width
             for f in decl.fields:
                 if f.name in fields:
-                    raise SemanticError(f"duplicate field {f.name!r}", f.span)
+                    sink.emit("FAC011", f"duplicate field {f.name!r}", f.span)
+                    continue
                 fields[f.name] = FieldInfo(f.name, decl.name, f.lo, f.hi)
 
     table = PatternTable(fields=fields, token_widths=token_widths)
@@ -130,29 +147,41 @@ def build_pattern_table(program: A.Program) -> PatternTable:
         if not isinstance(decl, A.PatDecl):
             continue
         if decl.name in table.by_name:
-            raise SemanticError(f"duplicate pattern {decl.name!r}", decl.span)
-        conjuncts = _to_dnf(decl.expr, table)
+            sink.emit("FAC011", f"duplicate pattern {decl.name!r}", decl.span)
+            continue
+        conjuncts = _to_dnf(decl.expr, table, sink)
         conjuncts = [c for c in conjuncts if _satisfiable(c)]
         if not conjuncts:
-            raise SemanticError(f"pattern {decl.name!r} is unsatisfiable", decl.span)
+            sink.emit("FAC018", f"pattern {decl.name!r} is unsatisfiable", decl.span)
         tokens = {c.fld.token for conj in conjuncts for c in conj}
         if len(tokens) > 1:
-            raise SemanticError(
-                f"pattern {decl.name!r} mixes fields of different tokens", decl.span
+            sink.emit(
+                "FAC018",
+                f"pattern {decl.name!r} mixes fields of different tokens",
+                decl.span,
             )
-        pat = PatternDef(decl.name, len(table.patterns), conjuncts, tokens.pop())
+        token = min(tokens) if tokens else next(iter(token_widths), "")
+        pat = PatternDef(decl.name, len(table.patterns), conjuncts, token, decl.span)
         table.patterns.append(pat)
         table.by_name[decl.name] = pat
+    if own_sink:
+        sink.checkpoint()
     return table
 
 
-def _to_dnf(expr: A.PatExpr, table: PatternTable) -> list[tuple[Constraint, ...]]:
+def _to_dnf(
+    expr: A.PatExpr, table: PatternTable, sink: DiagnosticSink
+) -> list[tuple[Constraint, ...]]:
+    # Recovery sentinel: [()] is the always-matching DNF, which keeps the
+    # pattern well-formed enough for downstream phases after an error.
     if isinstance(expr, A.PatRel):
         fld = table.fields.get(expr.field_name)
         if fld is None:
-            raise SemanticError(f"unknown field {expr.field_name!r} in pattern", expr.span)
+            sink.emit("FAC010", f"unknown field {expr.field_name!r} in pattern", expr.span)
+            return [()]
         if not 0 <= expr.value <= fld.mask and expr.op in ("==",):
-            raise SemanticError(
+            sink.emit(
+                "FAC018",
                 f"value {expr.value} does not fit field {fld.name!r} ({fld.width} bits)",
                 expr.span,
             )
@@ -160,15 +189,19 @@ def _to_dnf(expr: A.PatExpr, table: PatternTable) -> list[tuple[Constraint, ...]
     if isinstance(expr, A.PatRef):
         ref = table.by_name.get(expr.name)
         if ref is None:
-            raise SemanticError(f"unknown pattern {expr.name!r}", expr.span)
+            sink.emit("FAC010", f"unknown pattern {expr.name!r}", expr.span)
+            return [()]
         return [tuple(c) for c in ref.conjuncts]
     if isinstance(expr, A.PatOr):
-        return _to_dnf(expr.left, table) + _to_dnf(expr.right, table)
+        return _to_dnf(expr.left, table, sink) + _to_dnf(expr.right, table, sink)
     if isinstance(expr, A.PatAnd):
-        left = _to_dnf(expr.left, table)
-        right = _to_dnf(expr.right, table)
+        left = _to_dnf(expr.left, table, sink)
+        right = _to_dnf(expr.right, table, sink)
         return [lc + rc for lc in left for rc in right]
-    raise SemanticError(f"unsupported pattern expression {type(expr).__name__}", expr.span)
+    sink.emit(
+        "FAC030", f"unsupported pattern expression {type(expr).__name__}", expr.span
+    )
+    return [()]
 
 
 def _satisfiable(conj: tuple[Constraint, ...]) -> bool:
@@ -197,6 +230,89 @@ def _satisfiable(conj: tuple[Constraint, ...]) -> bool:
         if lo == hi and lo in excluded:
             return False
     return True
+
+
+# -- pattern set algebra (used by the analysis lints) -------------------------
+#
+# A conjunct's feasible set per field is an interval [lo, hi] minus a
+# finite exclusion set.  Intervals make subset/intersection decidable
+# without enumerating the (possibly 2^32-sized) field domain.
+
+
+def conjunct_feasible(conj: tuple[Constraint, ...]) -> dict[str, tuple[int, int, frozenset[int]]] | None:
+    """Per-field ``(lo, hi, excluded)`` feasible sets, or None if empty."""
+    by_field: dict[str, list[Constraint]] = {}
+    for c in conj:
+        by_field.setdefault(c.fld.name, []).append(c)
+    out: dict[str, tuple[int, int, frozenset[int]]] = {}
+    for name, constraints in by_field.items():
+        lo, hi = 0, constraints[0].fld.mask
+        excluded: set[int] = set()
+        for c in constraints:
+            if c.op == "==":
+                lo, hi = max(lo, c.value), min(hi, c.value)
+            elif c.op == "!=":
+                excluded.add(c.value)
+            elif c.op == "<":
+                hi = min(hi, c.value - 1)
+            elif c.op == "<=":
+                hi = min(hi, c.value)
+            elif c.op == ">":
+                lo = max(lo, c.value + 1)
+            elif c.op == ">=":
+                lo = max(lo, c.value)
+        excluded = {v for v in excluded if lo <= v <= hi}
+        if lo > hi or hi - lo + 1 <= len(excluded):
+            return None
+        out[name] = (lo, hi, frozenset(excluded))
+    return out
+
+
+def conjunct_subset(a: tuple[Constraint, ...], b: tuple[Constraint, ...]) -> bool:
+    """True if every word matching conjunct `a` also matches conjunct `b`."""
+    fa = conjunct_feasible(a)
+    fb = conjunct_feasible(b)
+    if fa is None:
+        return True  # empty set is a subset of everything
+    if fb is None:
+        return False
+    for name, (lo_b, hi_b, ex_b) in fb.items():
+        fld = next(c.fld for c in b if c.fld.name == name)
+        lo_a, hi_a, ex_a = fa.get(name, (0, fld.mask, frozenset()))
+        if lo_a < lo_b or hi_a > hi_b:
+            return False
+        # A value b excludes must be unreachable in a as well.
+        for v in ex_b:
+            if lo_a <= v <= hi_a and v not in ex_a:
+                return False
+    return True
+
+
+def conjuncts_intersect(a: tuple[Constraint, ...], b: tuple[Constraint, ...]) -> bool:
+    """True if some word satisfies both conjuncts at once."""
+    return conjunct_feasible(a + b) is not None
+
+
+def pattern_shadowed_by(pat: PatternDef, earlier: PatternDef) -> bool:
+    """Conservatively: every conjunct of `pat` ⊆ some conjunct of `earlier`.
+
+    Sound for "this arm can never fire after that one" because decoder
+    priority is declaration order; incomplete (a conjunct covered only
+    by a *union* of earlier conjuncts is not detected).
+    """
+    if not pat.conjuncts:
+        return False  # unsatisfiable pattern: reported separately
+    return all(
+        any(conjunct_subset(pc, ec) for ec in earlier.conjuncts)
+        for pc in pat.conjuncts
+    )
+
+
+def patterns_intersect(a: PatternDef, b: PatternDef) -> bool:
+    """True if some token word matches both patterns."""
+    return any(
+        conjuncts_intersect(ca, cb) for ca in a.conjuncts for cb in b.conjuncts
+    )
 
 
 def choose_dispatch_field(table: PatternTable) -> FieldInfo | None:

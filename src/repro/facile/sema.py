@@ -20,8 +20,9 @@ from dataclasses import dataclass, field
 
 from . import ast_nodes as A
 from .builtins import BUILTIN_FUNCS, CONTROL_ATTRS, PURE_ATTRS, QUEUE_ATTRS, STREAM_ATTRS, known_attr
+from .diagnostics import DiagnosticSink, Note
 from .patterns import PatternTable, build_pattern_table
-from .source import SemanticError
+from .source import SourceSpan
 
 
 @dataclass
@@ -55,12 +56,25 @@ class _Scope:
 
 
 class Analyzer:
-    """Runs all semantic checks over a parsed program."""
+    """Runs all semantic checks over a parsed program.
 
-    def __init__(self, program: A.Program):
+    Errors are *collected*, not raised one at a time: every check emits
+    into a :class:`DiagnosticSink` and recovers (keep-first on duplicate
+    declarations, treat-as-defined on unresolved names) so one mistake
+    does not hide the rest.  When no external sink is supplied, a
+    private one raises a batched ``SemanticError`` at the end of
+    :meth:`analyze`, which is what pre-existing callers observe.
+    """
+
+    def __init__(self, program: A.Program, sink: DiagnosticSink | None = None):
         self.program = program
-        self.patterns = build_pattern_table(program)
+        self._own_sink = sink is None
+        self.sink = sink if sink is not None else DiagnosticSink()
+        self.patterns = build_pattern_table(program, self.sink)
         self.info = ProgramInfo(program, self.patterns)
+
+    def _emit(self, code: str, message: str, span: SourceSpan, notes=()) -> None:
+        self.sink.emit(code, message, span, notes=notes)
 
     def analyze(self, require_main: bool = True) -> ProgramInfo:
         self._collect_decls()
@@ -77,7 +91,9 @@ class Analyzer:
                 scope.declare(p)
             self._check_block(fun.body, scope, in_pattern=None, loop_depth=0)
         if require_main and "main" not in self.info.functions:
-            raise SemanticError("simulator has no 'main' step function")
+            self._emit("FAC019", "simulator has no 'main' step function", self.program.span)
+        if self._own_sink:
+            self.sink.checkpoint()
         return self.info
 
     # -- declaration collection ----------------------------------------
@@ -87,32 +103,39 @@ class Analyzer:
         for decl in self.program.decls:
             if isinstance(decl, A.SemDecl):
                 if decl.pat_name not in self.patterns.by_name:
-                    raise SemanticError(
-                        f"sem for unknown pattern {decl.pat_name!r}", decl.span
+                    self._emit(
+                        "FAC010", f"sem for unknown pattern {decl.pat_name!r}", decl.span
                     )
+                    continue
                 if decl.pat_name in info.sems:
-                    raise SemanticError(
-                        f"duplicate sem for pattern {decl.pat_name!r}", decl.span
+                    self._emit(
+                        "FAC011", f"duplicate sem for pattern {decl.pat_name!r}", decl.span
                     )
+                    continue
                 info.sems[decl.pat_name] = decl
             elif isinstance(decl, A.FunDecl):
-                self._declare_unique(decl.name, decl)
-                info.functions[decl.name] = decl
+                if self._declare_unique(decl.name, decl):
+                    info.functions[decl.name] = decl
             elif isinstance(decl, A.ExternDecl):
-                self._declare_unique(decl.name, decl)
-                info.externs[decl.name] = decl
+                if self._declare_unique(decl.name, decl):
+                    info.externs[decl.name] = decl
             elif isinstance(decl, A.GlobalVal):
-                self._declare_unique(decl.name, decl)
-                info.globals[decl.name] = decl
+                if self._declare_unique(decl.name, decl):
+                    info.globals[decl.name] = decl
 
-    def _declare_unique(self, name: str, decl: A.Decl) -> None:
+    def _declare_unique(self, name: str, decl: A.Decl) -> bool:
+        """Check one top-level name; keep-first on conflicts."""
         info = self.info
         if name in info.functions or name in info.externs or name in info.globals:
-            raise SemanticError(f"duplicate declaration of {name!r}", decl.span)
+            self._emit("FAC011", f"duplicate declaration of {name!r}", decl.span)
+            return False
         if name in BUILTIN_FUNCS:
-            raise SemanticError(f"{name!r} shadows a built-in function", decl.span)
+            self._emit("FAC012", f"{name!r} shadows a built-in function", decl.span)
+            return False
         if name in self.patterns.fields:
-            raise SemanticError(f"{name!r} shadows a token field", decl.span)
+            self._emit("FAC012", f"{name!r} shadows a token field", decl.span)
+            return False
+        return True
 
     # -- recursion check ------------------------------------------------
 
@@ -121,14 +144,16 @@ class Analyzer:
 
         Also records a reverse-topological ordering used by the inliner.
         Direct calls only: Facile has no function values, so the static
-        call graph is exact.
+        call graph is exact.  A cycle is reported with its full path
+        (``a -> b -> a``), anchored at the back-edge call site, with a
+        note per participating call.
         """
-        edges: dict[str, set[str]] = {name: set() for name in self.info.functions}
+        edges: dict[str, dict[str, SourceSpan]] = {name: {} for name in self.info.functions}
 
         def collect(name: str, node: A.Node) -> None:
             for child in _walk(node):
                 if isinstance(child, A.Call) and child.func in self.info.functions:
-                    edges[name].add(child.func)
+                    edges[name].setdefault(child.func, child.span)
 
         for name, fun in self.info.functions.items():
             collect(name, fun.body)
@@ -144,11 +169,20 @@ class Analyzer:
         def visit(name: str, stack: list[str]) -> None:
             mark = state.get(name, 0)
             if mark == 1:
-                cycle = " -> ".join(stack[stack.index(name):] + [name])
-                raise SemanticError(
-                    f"recursion is not allowed in Facile (cycle: {cycle})",
-                    self.info.functions[name].span,
+                cycle = stack[stack.index(name):] + [name]
+                back_span = edges[cycle[-2]].get(cycle[-1], self.info.functions[name].span)
+                notes = tuple(
+                    Note(f"{a!r} calls {b!r} here", edges[a].get(b))
+                    for a, b in zip(cycle, cycle[1:])
                 )
+                self._emit(
+                    "FAC015",
+                    "recursion is not allowed in Facile "
+                    f"(cycle: {' -> '.join(cycle)})",
+                    back_span,
+                    notes=notes,
+                )
+                return
             if mark == 2:
                 return
             state[name] = 1
@@ -184,9 +218,10 @@ class Analyzer:
                 self._check_expr(target, scope, in_pattern, loop_depth)
             elif isinstance(target, A.Name):
                 if not self._name_defined(target.ident, scope, in_pattern):
-                    raise SemanticError(f"assignment to undefined name {target.ident!r}", target.span)
-                if target.ident in self.patterns.fields:
-                    raise SemanticError(f"cannot assign to token field {target.ident!r}", target.span)
+                    self._emit("FAC010", f"assignment to undefined name {target.ident!r}", target.span)
+                    scope.declare(target.ident)  # suppress cascades on later uses
+                elif target.ident in self.patterns.fields:
+                    self._emit("FAC017", f"cannot assign to token field {target.ident!r}", target.span)
         elif isinstance(stmt, A.ExprStmt):
             self._check_expr(stmt.expr, scope, in_pattern, loop_depth)
         elif isinstance(stmt, A.If):
@@ -200,12 +235,12 @@ class Analyzer:
             for case in stmt.cases:
                 if case.kind == "default":
                     if seen_default:
-                        raise SemanticError("multiple default cases", case.span)
+                        self._emit("FAC011", "multiple default cases", case.span)
                     seen_default = True
                 elif case.kind == "pat":
                     for name in case.pat_names:
                         if name not in self.patterns.by_name:
-                            raise SemanticError(f"unknown pattern {name!r} in switch", case.span)
+                            self._emit("FAC010", f"unknown pattern {name!r} in switch", case.span)
                 else:
                     for value in case.values:
                         self._check_expr(value, scope, in_pattern, loop_depth)
@@ -229,12 +264,12 @@ class Analyzer:
         elif isinstance(stmt, (A.Break, A.Continue)):
             if loop_depth == 0:
                 kind = "break" if isinstance(stmt, A.Break) else "continue"
-                raise SemanticError(f"{kind} outside of a loop", stmt.span)
+                self._emit("FAC016", f"{kind} outside of a loop", stmt.span)
         elif isinstance(stmt, A.Return):
             if stmt.value is not None:
                 self._check_expr(stmt.value, scope, in_pattern, loop_depth)
         else:
-            raise SemanticError(f"unhandled statement {type(stmt).__name__}", stmt.span)
+            self._emit("FAC030", f"unhandled statement {type(stmt).__name__}", stmt.span)
 
     def _name_defined(self, name: str, scope: _Scope, in_pattern: str | None) -> bool:
         if scope.defined(name):
@@ -250,7 +285,8 @@ class Analyzer:
             return
         if isinstance(expr, A.Name):
             if not self._name_defined(expr.ident, scope, in_pattern):
-                raise SemanticError(f"undefined name {expr.ident!r}", expr.span)
+                self._emit("FAC010", f"undefined name {expr.ident!r}", expr.span)
+                scope.declare(expr.ident)  # report each unknown name once
             return
         if isinstance(expr, A.Unary):
             self._check_expr(expr.operand, scope, in_pattern, loop_depth)
@@ -277,7 +313,7 @@ class Analyzer:
             for item in expr.items:
                 self._check_expr(item, scope, in_pattern, loop_depth)
             return
-        raise SemanticError(f"unhandled expression {type(expr).__name__}", expr.span)
+        self._emit("FAC030", f"unhandled expression {type(expr).__name__}", expr.span)
 
     def _check_call(self, expr: A.Call, scope: _Scope, in_pattern: str | None, loop_depth: int) -> None:
         name = expr.func
@@ -289,19 +325,22 @@ class Analyzer:
         elif name in BUILTIN_FUNCS:
             arity = BUILTIN_FUNCS[name].arity
         else:
-            raise SemanticError(f"call to undefined function {name!r}", expr.span)
-        if len(expr.args) != arity:
-            raise SemanticError(
-                f"{name!r} expects {arity} argument(s), got {len(expr.args)}", expr.span
+            self._emit("FAC010", f"call to undefined function {name!r}", expr.span)
+        if arity is not None and len(expr.args) != arity:
+            self._emit(
+                "FAC013",
+                f"{name!r} expects {arity} argument(s), got {len(expr.args)}",
+                expr.span,
             )
         for arg in expr.args:
             self._check_expr(arg, scope, in_pattern, loop_depth)
 
     def _check_attr(self, expr: A.Attr, scope: _Scope, in_pattern: str | None, loop_depth: int) -> None:
         name = expr.name
+        arity: int | None = None
         if not known_attr(name):
-            raise SemanticError(f"unknown attribute ?{name}", expr.span)
-        if name in PURE_ATTRS:
+            self._emit("FAC014", f"unknown attribute ?{name}", expr.span)
+        elif name in PURE_ATTRS:
             arity = PURE_ATTRS[name]
         elif name in STREAM_ATTRS:
             arity = STREAM_ATTRS[name]
@@ -309,9 +348,11 @@ class Analyzer:
             arity = CONTROL_ATTRS[name]
         else:
             arity = QUEUE_ATTRS[name][0]
-        if len(expr.args) != arity:
-            raise SemanticError(
-                f"?{name} expects {arity} argument(s), got {len(expr.args)}", expr.span
+        if arity is not None and len(expr.args) != arity:
+            self._emit(
+                "FAC013",
+                f"?{name} expects {arity} argument(s), got {len(expr.args)}",
+                expr.span,
             )
         self._check_expr(expr.base, scope, in_pattern, loop_depth)
         for arg in expr.args:
@@ -330,6 +371,14 @@ def _walk(node: A.Node):
                     yield from _walk(item)
 
 
-def analyze(program: A.Program, require_main: bool = True) -> ProgramInfo:
-    """Run semantic analysis and return resolved program info."""
-    return Analyzer(program).analyze(require_main=require_main)
+def analyze(
+    program: A.Program,
+    require_main: bool = True,
+    sink: DiagnosticSink | None = None,
+) -> ProgramInfo:
+    """Run semantic analysis and return resolved program info.
+
+    With `sink`, problems are collected there and nothing is raised;
+    without it, a batched ``SemanticError`` is raised if any check fails.
+    """
+    return Analyzer(program, sink=sink).analyze(require_main=require_main)

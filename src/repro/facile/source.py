@@ -23,12 +23,44 @@ class SourceSpan:
     def __str__(self) -> str:
         return f"{self.filename}:{self.line}:{self.column}"
 
+    @property
+    def is_known(self) -> bool:
+        return self.line > 0
+
+    def caret_block(self, buffer: "SourceBuffer", gutter_width: int = 5) -> str:
+        """Render the offending source line with a caret underline:
+
+        ``   12 | val x = y + 1;``
+        ``      |         ^^^^^``
+
+        Returns the empty string for unknown spans or spans that do not
+        fall inside `buffer` (a stale span from another file).
+        """
+        if not self.is_known or buffer is None:
+            return ""
+        if self.line > len(buffer._line_starts) or self.start > len(buffer.text):
+            return ""
+        text = buffer.line_text(self.line)
+        col = max(1, self.column)
+        # Clip the underline to the remainder of the line; always show
+        # at least one caret, even for zero-width spans (EOF errors).
+        width = max(1, min(self.end - self.start, len(text) - col + 1))
+        gutter = f"{self.line:>{gutter_width}} | "
+        blank = " " * gutter_width + " | "
+        underline = " " * (col - 1) + "^" * width
+        return f"{gutter}{text}\n{blank}{underline}"
+
 
 UNKNOWN_SPAN = SourceSpan("<unknown>", 0, 0, 0, 0)
 
 
 class FacileError(Exception):
     """Base class for all errors reported by the Facile compiler."""
+
+    #: Diagnostic code used when this exception is converted into a
+    #: :class:`repro.facile.diagnostics.Diagnostic` (see that module's
+    #: code registry).
+    code = "FAC030"
 
     def __init__(self, message: str, span: SourceSpan = UNKNOWN_SPAN):
         super().__init__(f"{span}: {message}")
@@ -39,9 +71,13 @@ class FacileError(Exception):
 class LexError(FacileError):
     """Raised for malformed lexemes (bad numbers, stray characters)."""
 
+    code = "FAC001"
+
 
 class ParseError(FacileError):
     """Raised when the token stream does not match the grammar."""
+
+    code = "FAC002"
 
 
 class SemanticError(FacileError):

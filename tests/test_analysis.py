@@ -1,0 +1,287 @@
+"""Unit tests for the static-analysis passes and ``run_check``."""
+
+import pathlib
+
+import pytest
+
+from repro.facile.analysis import (
+    AnalysisContext,
+    run_check,
+    run_passes,
+    why_dynamic,
+)
+from repro.facile.bta import analyze_binding_times
+from repro.facile.compiler import compile_source
+from repro.facile.diagnostics import DiagnosticSink
+from repro.facile.inline import flatten_program
+from repro.facile.parser import parse
+from repro.facile.sema import analyze
+from repro.facile.source import SourceBuffer
+from repro.isa.facile_src import functional_sim_source
+from repro.ooo.facile_inorder import inorder_sim_source
+from repro.ooo.facile_ooo import ooo_sim_source
+
+FIXTURES = pathlib.Path(__file__).parent / "facile_violations"
+
+HEADER = (
+    "token instruction[32] fields op 24:31, rl 19:23, imm 0:12;"
+    "pat add = op==0; pat bz = op==1;"
+)
+
+
+def codes_of(report):
+    return sorted({d.code for d in report.sink.diagnostics})
+
+
+class TestUseBeforeInit:
+    def test_one_armed_branch_flagged(self):
+        rep = run_check(
+            "val init; fun main(pc) {"
+            " val x; if (pc) { x = 1; } val y = x + 1; init = pc; }"
+        )
+        assert "FAC101" in codes_of(rep)
+
+    def test_both_branches_assign_is_clean(self):
+        rep = run_check(
+            "val init; fun main(pc) {"
+            " val x; if (pc) { x = 1; } else { x = 2; } val y = x + 1; init = pc; }"
+        )
+        assert "FAC101" not in codes_of(rep)
+
+    def test_zero_trip_loop_flagged(self):
+        rep = run_check(
+            "val init; fun main(pc) {"
+            " val x; while (pc) { x = 1; break; } val y = x; init = pc; }"
+        )
+        assert "FAC101" in codes_of(rep)
+
+    def test_switch_with_default_covering_all_arms_is_clean(self):
+        rep = run_check(
+            "val init; fun main(pc) { val x;"
+            " switch (pc) { case 1: x = 1; default: x = 2; }"
+            " val y = x; init = pc; }"
+        )
+        assert "FAC101" not in codes_of(rep)
+
+
+class TestDeadCode:
+    def test_uncalled_function_flagged(self):
+        rep = run_check("val init; fun helper() { } fun main(pc) { init = pc; }")
+        assert "FAC102" in codes_of(rep)
+        (diag,) = [d for d in rep.sink.diagnostics if d.code == "FAC102"]
+        assert "helper" in diag.message
+
+    def test_called_function_is_clean(self):
+        rep = run_check(
+            "val init; fun helper() { } fun main(pc) { helper(); init = pc; }"
+        )
+        assert "FAC102" not in codes_of(rep)
+
+    def test_undispatched_sem_flagged(self):
+        rep = run_check(
+            HEADER + "val init; sem add { }; fun main(pc) { init = pc; }"
+        )
+        assert "FAC103" in codes_of(rep)
+
+    def test_exec_reaches_all_sems(self):
+        rep = run_check(
+            HEADER + "val init; sem add { }; sem bz { };"
+            "fun main(pc) { pc?exec(); init = pc; }"
+        )
+        assert "FAC103" not in codes_of(rep)
+
+    def test_unused_global_flagged(self):
+        rep = run_check("val init; val nobody = 0; fun main(pc) { init = pc; }")
+        assert "FAC104" in codes_of(rep)
+
+    def test_write_only_global_is_info(self):
+        rep = run_check("val init; val evt = 0; fun main(pc) { evt = 1; init = pc; }")
+        assert "FAC105" in codes_of(rep)
+        assert rep.exit_code(werror=True) == 0  # infos never fail the build
+
+    def test_write_only_suppressible_from_source(self):
+        rep = run_check(
+            "// fac: disable-file=FAC105\n"
+            "val init; val evt = 0; fun main(pc) { evt = 1; init = pc; }"
+        )
+        assert "FAC105" not in codes_of(rep)
+        assert len(rep.sink.suppressed) == 1
+
+
+class TestPatternArms:
+    SHADOW = (
+        "token instruction[32] fields op 24:31, rl 19:23, imm 0:12;"
+        "pat add = op==0; pat addtoo = op==0;"
+        "val init; val CNT = 0;"
+        "fun main(pc) {"
+        " switch (pc) { pat add: CNT = CNT + 1; pat addtoo: CNT = CNT + 2; }"
+        " init = pc; }"
+    )
+
+    def test_duplicate_pattern_shadowed_and_overlapping(self):
+        rep = run_check(self.SHADOW)
+        assert "FAC110" in codes_of(rep)
+        assert "FAC111" in codes_of(rep)
+
+    def test_disjoint_arms_are_clean(self):
+        rep = run_check(
+            HEADER + "val init; val CNT = 0;"
+            "fun main(pc) {"
+            " switch (pc) { pat add: CNT = CNT + 1; pat bz: CNT = CNT + 2; }"
+            " init = pc; }"
+        )
+        assert "FAC110" not in codes_of(rep)
+        assert "FAC111" not in codes_of(rep)
+
+
+class TestBtaAudit:
+    def test_dynamic_key_is_an_error(self):
+        rep = run_check("val init; fun main(pc) { init = mem_read(pc); }")
+        assert "FAC201" in codes_of(rep)
+        assert rep.exit_code() == 1
+        (diag,) = [d for d in rep.sink.diagnostics if d.code == "FAC201"]
+        assert diag.notes, "FAC201 should carry a provenance chain"
+
+    def test_dynamic_branch_without_verify_warns(self):
+        rep = run_check(
+            "val init; fun main(pc) { val v = mem_read(pc);"
+            " if (v) { init = pc; } else { init = pc; } }"
+        )
+        assert "FAC202" in codes_of(rep)
+        assert rep.exit_code() == 0  # warning, not error
+        assert rep.n_dynamic_result_tests == 1
+
+    def test_explicit_verify_is_clean(self):
+        rep = run_check(
+            "val init; fun main(pc) { val v = mem_read(pc)?verify;"
+            " if (v) { init = pc; } else { init = pc; } }"
+        )
+        assert "FAC202" not in codes_of(rep)
+
+    def test_unpinned_dynamic_branch_post_insertion_is_fac203(self):
+        # Drive the post-insertion invariant pass directly against a
+        # tree where insert_dynamic_result_tests was (deliberately)
+        # never run: the surviving dynamic condition must be an error.
+        src = (
+            "val init; fun main(pc) { val v = mem_read(pc);"
+            " if (v) { init = pc; } else { init = pc; } }"
+        )
+        info = analyze(parse(src, "<t>"))
+        flat = flatten_program(info)
+        division = analyze_binding_times(flat)
+        sink = DiagnosticSink(SourceBuffer(src, "<t>"))
+        ctx = AnalysisContext(info, sink.buffer, flat, division, n_inserted=0)
+        run_passes("post", ctx, sink)
+        assert any(d.code == "FAC203" for d in sink.diagnostics)
+
+
+class TestCacheBlowup:
+    def test_advancing_key_flagged(self):
+        rep = run_check("val init; fun main(pc) { init = pc + 4; }")
+        assert "FAC301" in codes_of(rep)
+
+    def test_identity_key_is_clean(self):
+        rep = run_check("val init; fun main(pc) { init = pc; }")
+        assert "FAC301" not in codes_of(rep)
+
+    def test_key_resolved_through_local_flagged(self):
+        rep = run_check(
+            "val init; fun main(pc) { val nxt = pc + 4; init = nxt; }"
+        )
+        assert "FAC301" in codes_of(rep)
+
+    def test_key_dependent_loop_flagged(self):
+        rep = run_check(
+            "val init; fun main(pc) {"
+            " val i = 0; while (i < pc) { i = i + 1; } init = 0; }"
+        )
+        assert "FAC302" in codes_of(rep)
+
+    def test_literal_bounded_loop_is_clean(self):
+        rep = run_check(
+            "val init; fun main(pc) {"
+            " val i = 0; while (i < 16) { i = i + 1; } init = pc; }"
+        )
+        assert "FAC302" not in codes_of(rep)
+
+
+class TestViolationCorpus:
+    EXPECTED = {
+        "use_before_init.fac": "FAC101",
+        "overlapping_arms.fac": "FAC111",
+        "missing_result_test.fac": "FAC202",
+        "unbounded_cache_key.fac": "FAC301",
+        "key_dependent_loop.fac": "FAC302",
+    }
+
+    @pytest.mark.parametrize("name,code", sorted(EXPECTED.items()))
+    def test_fixture_yields_exactly_its_code(self, name, code):
+        rep = run_check((FIXTURES / name).read_text(), str(FIXTURES / name))
+        assert codes_of(rep) == [code]
+        assert code in rep.render_text()
+        blob = rep.to_json()
+        assert [d["code"] for d in blob["diagnostics"]] == [code]
+        assert rep.exit_code() == 0 and rep.exit_code(werror=True) == 1
+
+
+class TestRunCheckPipeline:
+    def test_parse_error_reported_not_raised(self):
+        rep = run_check("fun main( { }")
+        assert rep.exit_code() == 1
+        assert "FAC002" in codes_of(rep)
+
+    def test_semantic_errors_batched_into_report(self):
+        rep = run_check("fun main(pc) { val x = nope1; val y = nope2; }")
+        assert rep.exit_code() == 1
+        assert codes_of(rep).count("FAC010") == 1
+        assert len([d for d in rep.sink.diagnostics if d.code == "FAC010"]) == 2
+
+    def test_only_filter_limits_passes(self):
+        rep = run_check(
+            "val init; fun main(pc) { init = pc + 4; }",
+            only={"cache-blowup"},
+        )
+        assert rep.passes == ["cache-blowup"]
+        assert codes_of(rep) == ["FAC301"]
+
+    def test_report_json_schema(self):
+        rep = run_check("val init; fun main(pc) { init = pc; }")
+        blob = rep.to_json()
+        for key in ("file", "clean", "fatal", "counts", "suppressed",
+                    "passes", "n_dynamic_result_tests", "diagnostics"):
+            assert key in blob
+        assert blob["clean"] is True
+        assert blob["counts"] == {"error": 0, "warning": 0, "info": 0}
+
+
+class TestShippedSimulatorsClean:
+    @pytest.mark.parametrize(
+        "builder", [functional_sim_source, inorder_sim_source, ooo_sim_source]
+    )
+    def test_builtin_sim_is_clean_even_with_werror(self, builder):
+        rep = run_check(builder(), f"<{builder.__name__}>")
+        assert rep.sink.diagnostics == []
+        assert rep.exit_code(werror=True) == 0
+        assert rep.n_dynamic_result_tests == 0
+
+
+class TestWhyDynamic:
+    def test_rt_static_variable(self):
+        result = compile_source("val init; fun main(pc) { init = pc; }")
+        assert why_dynamic(result.flat, result.division, "init") == [
+            "'init' is run-time static"
+        ]
+
+    def test_dynamic_chain_names_the_root(self):
+        result = compile_source(
+            "val init; val OUT = 0;"
+            "fun main(pc) { val v = mem_read(pc); OUT = v + 1; init = pc; }"
+        )
+        lines = why_dynamic(result.flat, result.division, "OUT")
+        assert any("mem_read" in line for line in lines)
+
+    def test_compile_source_check_collects_warnings(self):
+        result = compile_source(
+            "val init; fun main(pc) { init = pc + 4; }", check=True
+        )
+        assert [d.code for d in result.diagnostics] == ["FAC301"]

@@ -1,0 +1,86 @@
+"""End-to-end tests for the ``repro check`` subcommand."""
+
+import json
+import pathlib
+
+from repro.cli import main
+
+FIXTURES = pathlib.Path(__file__).parent / "facile_violations"
+
+CLEAN = "val init;\nfun main(pc) { init = pc; }\n"
+
+
+def test_clean_file_exits_zero(tmp_path, capsys):
+    path = tmp_path / "ok.fac"
+    path.write_text(CLEAN)
+    assert main(["check", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s), 0 warning(s)" in out
+
+
+def test_warning_exits_zero_without_werror(capsys):
+    assert main(["check", str(FIXTURES / "unbounded_cache_key.fac")]) == 0
+    out = capsys.readouterr().out
+    assert "FAC301" in out
+    assert "warning" in out
+
+
+def test_werror_turns_warnings_into_failure(capsys):
+    assert main(["check", "--werror", str(FIXTURES / "unbounded_cache_key.fac")]) == 1
+
+
+def test_parse_error_exits_one(tmp_path, capsys):
+    path = tmp_path / "bad.fac"
+    path.write_text("fun main( { }\n")
+    assert main(["check", str(path)]) == 1
+    assert "FAC002" in capsys.readouterr().out
+
+
+def test_unreadable_file_exits_two(tmp_path, capsys):
+    assert main(["check", str(tmp_path / "nope.fac")]) == 2
+
+
+def test_no_inputs_exits_two(capsys):
+    assert main(["check"]) == 2
+    assert "no inputs" in capsys.readouterr().err
+
+
+def test_exit_code_is_max_over_files(tmp_path, capsys):
+    ok = tmp_path / "ok.fac"
+    ok.write_text(CLEAN)
+    bad = tmp_path / "bad.fac"
+    bad.write_text("fun main( { }\n")
+    assert main(["check", str(ok), str(bad)]) == 1
+
+
+def test_json_format_schema(tmp_path, capsys):
+    path = tmp_path / "warn.fac"
+    path.write_text("val init;\nfun main(pc) { init = pc + 4; }\n")
+    assert main(["check", "--format", "json", str(path)]) == 0
+    blob = json.loads(capsys.readouterr().out)
+    assert blob["version"] == 1
+    (report,) = blob["files"]
+    assert report["file"] == str(path)
+    assert report["clean"] is False
+    assert report["counts"]["warning"] == 1
+    (diag,) = report["diagnostics"]
+    assert diag["code"] == "FAC301"
+    assert diag["line"] == 2
+
+
+def test_builtin_functional_is_clean(capsys):
+    assert main(["check", "--builtin", "functional", "--werror"]) == 0
+    assert "<builtin:functional>" in capsys.readouterr().out
+
+
+def test_only_flag_filters_passes(tmp_path, capsys):
+    path = tmp_path / "warn.fac"
+    # Would fire both FAC101 and FAC301 under a full run.
+    path.write_text(
+        "val init;\n"
+        "fun main(pc) { val x; if (pc) { x = 1; } val y = x; init = pc + 4; }\n"
+    )
+    assert main(["check", "--only", "cache-blowup", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "FAC301" in out
+    assert "FAC101" not in out

@@ -1,0 +1,172 @@
+"""Unit tests for the batched diagnostics layer."""
+
+import json
+
+import pytest
+
+from repro.facile.diagnostics import (
+    ERROR,
+    INFO,
+    WARNING,
+    CODES,
+    Diagnostic,
+    DiagnosticError,
+    DiagnosticSink,
+    Note,
+    scan_suppressions,
+)
+from repro.facile.source import SourceBuffer, UNKNOWN_SPAN
+
+
+def _buf(text, filename="demo.fac"):
+    return SourceBuffer(text, filename)
+
+
+def _span(buf, start, end):
+    return buf.span(start, end)
+
+
+class TestRegistry:
+    def test_codes_are_unique_and_well_formed(self):
+        for code, info in CODES.items():
+            assert code == info.code
+            assert code.startswith("FAC") and len(code) == 6
+            assert info.severity in (ERROR, WARNING, INFO)
+
+    def test_front_end_codes_are_errors(self):
+        for code, info in CODES.items():
+            if code < "FAC100":
+                assert info.severity == ERROR, code
+
+    def test_emit_unknown_code_rejected(self):
+        with pytest.raises(KeyError, match="FAC999"):
+            DiagnosticSink().emit("FAC999", "nope")
+
+
+class TestSuppressionScanner:
+    def test_same_line_disable(self):
+        _, by_line = scan_suppressions("x = 1; // fac: disable=FAC105\ny = 2;\n")
+        assert by_line == {1: {"FAC105"}}
+
+    def test_comment_only_line_guards_next_line(self):
+        _, by_line = scan_suppressions("// fac: disable=FAC101\nval y = x;\n")
+        assert by_line == {2: {"FAC101"}}
+
+    def test_disable_next_line(self):
+        _, by_line = scan_suppressions("a;\n// fac: disable-next-line=FAC110\nb;\n")
+        assert by_line == {3: {"FAC110"}}
+
+    def test_disable_file_with_code_list(self):
+        file_wide, _ = scan_suppressions("// fac: disable-file=FAC105, fac110\n")
+        assert file_wide == {"FAC105", "FAC110"}
+
+    def test_all_keyword(self):
+        file_wide, _ = scan_suppressions("/* fac: disable-file=all */\n")
+        assert file_wide == {"ALL"}
+
+    def test_directive_outside_comment_is_inert(self):
+        file_wide, by_line = scan_suppressions('x = "fac: disable=FAC105";\n')
+        assert not file_wide and not by_line
+
+
+class TestSinkSuppression:
+    def test_warning_suppressed_by_line(self):
+        buf = _buf("val x = 1; // fac: disable=FAC101\n")
+        sink = DiagnosticSink(buf)
+        assert sink.emit("FAC101", "maybe unset", _span(buf, 4, 5)) is None
+        assert not sink.diagnostics and len(sink.suppressed) == 1
+
+    def test_error_never_suppressed(self):
+        buf = _buf("bad; // fac: disable=FAC010\n")
+        sink = DiagnosticSink(buf)
+        assert sink.emit("FAC010", "undefined name", _span(buf, 0, 3)) is not None
+        assert sink.has_errors
+
+    def test_file_wide_suppression(self):
+        buf = _buf("// fac: disable-file=FAC105\nval g = 0;\n")
+        sink = DiagnosticSink(buf)
+        assert sink.emit("FAC105", "write-only", _span(buf, 32, 33)) is None
+
+    def test_unrelated_code_not_suppressed(self):
+        buf = _buf("val x = 1; // fac: disable=FAC105\n")
+        sink = DiagnosticSink(buf)
+        assert sink.emit("FAC101", "maybe unset", _span(buf, 4, 5)) is not None
+
+
+class TestRendering:
+    def test_render_includes_caret_block(self):
+        buf = _buf("val x = missing;\n")
+        span = _span(buf, 8, 15)
+        text = Diagnostic("FAC010", ERROR, "undefined name 'missing'", span).render(buf)
+        assert "demo.fac:1:9: error: undefined name 'missing' [FAC010]" in text
+        assert "1 | val x = missing;" in text
+        assert "^^^^^^^" in text
+
+    def test_render_notes(self):
+        buf = _buf("val x = 1;\n")
+        diag = Diagnostic(
+            "FAC101", WARNING, "maybe unset", _span(buf, 4, 5),
+            notes=(Note("declared here", _span(buf, 0, 3)), Note("no span")),
+        )
+        text = diag.render(buf)
+        assert "demo.fac:1:1: note: declared here" in text
+        assert "note: no span" in text
+
+    def test_unknown_span_renders_without_caret(self):
+        text = Diagnostic("FAC030", ERROR, "oops", UNKNOWN_SPAN).render(None)
+        assert "oops [FAC030]" in text
+
+    def test_to_json_round_trips(self):
+        buf = _buf("val x = 1;\n")
+        diag = Diagnostic(
+            "FAC104", WARNING, "never used", _span(buf, 4, 5),
+            notes=(Note("hint", _span(buf, 0, 3)),),
+        )
+        blob = json.loads(json.dumps(diag.to_json()))
+        assert blob["code"] == "FAC104"
+        assert blob["severity"] == WARNING
+        assert blob["file"] == "demo.fac"
+        assert blob["line"] == 1 and blob["column"] == 5
+        assert blob["notes"][0]["message"] == "hint"
+
+
+class TestBatching:
+    def test_single_error_message_is_span_prefixed(self):
+        buf = _buf("bad;\n")
+        sink = DiagnosticSink(buf)
+        sink.emit("FAC010", "undefined name 'bad'", _span(buf, 0, 3))
+        with pytest.raises(DiagnosticError, match="demo.fac:1:1: undefined name 'bad'"):
+            sink.checkpoint()
+
+    def test_multiple_errors_all_in_message(self):
+        sink = DiagnosticSink()
+        sink.emit("FAC010", "undefined name 'a'")
+        sink.emit("FAC011", "duplicate 'b'")
+        with pytest.raises(DiagnosticError) as exc:
+            sink.checkpoint()
+        text = str(exc.value)
+        assert text.startswith("2 errors:")
+        assert "undefined name 'a' [FAC010]" in text
+        assert "duplicate 'b' [FAC011]" in text
+        assert exc.value.code == "FAC010"
+        assert len(exc.value.diagnostics) == 2
+
+    def test_checkpoint_quiet_without_errors(self):
+        sink = DiagnosticSink()
+        sink.emit("FAC104", "never used")
+        sink.checkpoint()  # warnings alone never raise
+
+    def test_sorted_orders_by_position_then_severity(self):
+        buf = _buf("aaaa;\nbbbb;\n")
+        sink = DiagnosticSink(buf)
+        sink.emit("FAC104", "later", _span(buf, 6, 10))
+        sink.emit("FAC105", "early info", _span(buf, 0, 4))
+        sink.emit("FAC010", "early error", _span(buf, 0, 4))
+        codes = [d.code for d in sink.sorted()]
+        assert codes == ["FAC010", "FAC105", "FAC104"]
+
+    def test_max_diagnostics_caps_collection(self):
+        sink = DiagnosticSink(max_diagnostics=3)
+        for _ in range(10):
+            sink.emit("FAC104", "never used")
+        assert len(sink.diagnostics) == 3

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.facile import SemanticError
+from repro.facile.diagnostics import DiagnosticSink
 from repro.facile.parser import parse
 from repro.facile.sema import analyze
 
@@ -146,3 +147,40 @@ class TestStructure:
     def test_switch_unknown_pattern_in_case(self):
         with pytest.raises(SemanticError, match="unknown pattern"):
             check(HEADER + "fun f(pc) { switch (pc) { pat nosuch: pc = 0; } }")
+
+
+class TestBatchedDiagnostics:
+    def test_recursion_reports_full_cycle_path(self):
+        with pytest.raises(SemanticError, match="cycle: f -> g -> f"):
+            check("fun f() { g(); } fun g() { f(); }")
+
+    def test_long_cycle_path(self):
+        with pytest.raises(SemanticError, match="cycle: a -> b -> c -> a"):
+            check("fun a() { b(); } fun b() { c(); } fun c() { a(); }")
+
+    def test_multiple_errors_batched_into_one_raise(self):
+        with pytest.raises(SemanticError) as exc:
+            check("fun f() { val x = nope1; } fun g() { val y = nope2; }")
+        text = str(exc.value)
+        assert "nope1" in text and "nope2" in text
+        assert text.startswith("2 errors:")
+
+    def test_missing_main_carries_code_and_span(self):
+        with pytest.raises(SemanticError) as exc:
+            check("fun notmain() { }", require_main=True)
+        assert exc.value.code == "FAC019"
+
+    def test_external_sink_collects_without_raising(self):
+        sink = DiagnosticSink()
+        analyze(parse("fun f() { val x = nope; }"), require_main=False, sink=sink)
+        assert [d.code for d in sink.errors] == ["FAC010"]
+
+    def test_undefined_name_does_not_cascade(self):
+        # One bad name, used three times: one diagnostic, not three.
+        sink = DiagnosticSink()
+        analyze(
+            parse("fun f() { val x = nope; val y = nope; nope = 1; }"),
+            require_main=False,
+            sink=sink,
+        )
+        assert len(sink.errors) == 1
