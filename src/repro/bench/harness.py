@@ -67,8 +67,15 @@ def measure(
     max_cycles: int = 200_000_000,
     trace_jit: bool = True,
     flat_pack: bool = True,
+    cache_dir=None,
+    cache_load=None,
+    cache_save=None,
 ) -> Measurement:
-    """Run `program` to completion on the named simulator configuration."""
+    """Run `program` to completion on the named simulator configuration.
+
+    ``cache_dir``/``cache_load``/``cache_save`` wire the memoizing
+    configurations to the snapshot store (warm starts); snapshot load
+    time counts against the measured wall clock."""
     start = time.perf_counter()
     if simulator == "simplescalar":
         sim = run_reference(program, config, max_cycles=max_cycles)
@@ -86,8 +93,20 @@ def measure(
             memo_limit_bytes=cache_limit_bytes,
             memo_evict=cache_evict,
             flat_pack=flat_pack,
+            cache_dir=cache_dir,
+            cache_load=cache_load,
+            cache_save=cache_save,
         )
         elapsed = time.perf_counter() - start
+        extra = {}
+        if memoize:
+            extra = {
+                "packs": sim.mstats.packs,
+                "unpacks": sim.mstats.unpacks,
+                "pool_bytes_saved": sim.pool.bytes_saved,
+                "bytes_shared": sim.mstats.bytes_shared,
+            }
+            _snapshot_extra(extra, sim)
         return Measurement(
             workload_name,
             simulator,
@@ -101,11 +120,7 @@ def measure(
             memo_bytes=sim.mstats.bytes_estimate,
             memo_clears=sim.mstats.clears,
             memo_evictions=sim.mstats.evictions,
-            extra={
-                "packs": sim.mstats.packs,
-                "unpacks": sim.mstats.unpacks,
-                "pool_bytes_saved": sim.pool.bytes_saved,
-            } if memoize else {},
+            extra=extra,
         )
     if simulator in ("facile", "facile-nomemo"):
         memoized = simulator == "facile"
@@ -118,11 +133,22 @@ def measure(
             cache_evict=cache_evict,
             trace_jit=trace_jit,
             flat_pack=flat_pack,
+            cache_dir=cache_dir,
+            cache_load=cache_load,
+            cache_save=cache_save,
         )
         elapsed = time.perf_counter() - start
         if memoized:
             cache = run.engine.cache
             cache_stats = cache.stats
+            extra = {
+                "bytes_current": cache_stats.bytes_current,
+                "packs": cache_stats.packs,
+                "unpacks": cache_stats.unpacks,
+                "pool_bytes_saved": cache.pool.bytes_saved,
+                "bytes_shared": cache_stats.bytes_shared,
+            }
+            _snapshot_extra(extra, run.engine)
             return Measurement(
                 workload_name,
                 simulator,
@@ -136,17 +162,26 @@ def measure(
                 memo_bytes=cache_stats.bytes_cumulative,
                 memo_clears=cache_stats.clears,
                 memo_evictions=cache_stats.evictions,
-                extra={
-                    "bytes_current": cache_stats.bytes_current,
-                    "packs": cache_stats.packs,
-                    "unpacks": cache_stats.unpacks,
-                    "pool_bytes_saved": cache.pool.bytes_saved,
-                },
+                extra=extra,
             )
         return Measurement(
             workload_name, simulator, elapsed, run.stats.retired, run.stats.cycles
         )
     raise ValueError(f"unknown simulator {simulator!r}")
+
+
+def _snapshot_extra(extra: dict, holder) -> None:
+    """Record snapshot load/save outcomes on a measurement's extra dict
+    (``holder`` is an engine or fastsim instance)."""
+    load = getattr(holder, "snapshot_load", None)
+    if load is not None:
+        extra["snapshot_hit"] = load.hit
+        extra["snapshot_entries"] = load.entries
+        if not load.hit:
+            extra["snapshot_reason"] = load.reason
+    save = getattr(holder, "snapshot_save", None)
+    if save is not None and save.hit:
+        extra["snapshot_saved_bytes"] = save.file_bytes
 
 
 def harmonic_mean(values: list[float]) -> float:

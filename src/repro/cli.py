@@ -102,12 +102,14 @@ _RUNNERS = {
         trace_threshold=a.trace_threshold,
         cache_limit_bytes=a.cache_limit, cache_evict=a.cache_evict,
         flat_pack=a.flat_pack,
+        cache_dir=a.cache_dir, cache_load=a.cache_load, cache_save=a.cache_save,
     ),
     "inorder": lambda p, a: run_facile_inorder(
         p, memoized=not a.plain, trace_jit=a.trace_jit,
         trace_threshold=a.trace_threshold,
         cache_limit_bytes=a.cache_limit, cache_evict=a.cache_evict,
         flat_pack=a.flat_pack,
+        cache_dir=a.cache_dir, cache_load=a.cache_load, cache_save=a.cache_save,
     ),
     "inorder-ref": lambda p, a: run_inorder(p),
     "ooo": lambda p, a: run_facile_ooo(
@@ -115,12 +117,14 @@ _RUNNERS = {
         trace_threshold=a.trace_threshold,
         cache_limit_bytes=a.cache_limit, cache_evict=a.cache_evict,
         flat_pack=a.flat_pack,
+        cache_dir=a.cache_dir, cache_load=a.cache_load, cache_save=a.cache_save,
     ),
     "ooo-ref": lambda p, a: run_reference(p),
     "ooo-fastsim": lambda p, a: run_fastsim(
         p, memoize=not a.plain,
         memo_limit_bytes=a.cache_limit, memo_evict=a.cache_evict,
         flat_pack=a.flat_pack,
+        cache_dir=a.cache_dir, cache_load=a.cache_load, cache_save=a.cache_save,
     ),
 }
 
@@ -176,6 +180,25 @@ def _report_run(kind: str, result, elapsed: float) -> None:
                      f"{hit_rate:.1f}% hit rate, "
                      f"{pool.bytes_saved:,} bytes saved")
         print(line)
+    # Snapshot outcome lines (the CI smoke greps for "snapshot: hit").
+    holder = engine if engine is not None else result
+    load = getattr(holder, "snapshot_load", None)
+    if load is not None:
+        if load.hit:
+            shared = getattr(cstats, "bytes_shared", 0) if cstats else 0
+            print(f"snapshot: hit — {load.entries:,} entries, "
+                  f"{load.pool_values:,} pool values, "
+                  f"{load.file_bytes:,} file bytes "
+                  f"({shared:,} bytes still mmap-shared)")
+        else:
+            print(f"snapshot: miss ({load.reason}) — cold start")
+    save = getattr(holder, "snapshot_save", None)
+    if save is not None:
+        if save.hit:
+            print(f"snapshot: saved {save.entries:,} entries "
+                  f"({save.file_bytes:,} bytes) to {save.path}")
+        else:
+            print(f"snapshot: {save.reason}")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -363,6 +386,22 @@ def _add_trace_flags(p: argparse.ArgumentParser) -> None:
         default=True,
         help="keep completed cache entries as linked record objects "
         "instead of flat-packing them into contiguous streams",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed snapshot store: load a warm action "
+        "cache for this (simulator × workload) pair if present, and "
+        "save the cache back after the run",
+    )
+    p.add_argument(
+        "--cache-load", default=None, metavar="FILE",
+        help="load the action cache from a specific snapshot file "
+        "(overrides the --cache-dir load path)",
+    )
+    p.add_argument(
+        "--cache-save", default=None, metavar="FILE",
+        help="save the action cache to a specific snapshot file after "
+        "the run (overrides the --cache-dir save path)",
     )
 
 

@@ -36,6 +36,16 @@ from .runtime import (
     SimContext,
     SimulationError,
 )
+from .snapshot import (
+    SnapshotError,
+    SnapshotInfo,
+    engine_fingerprint,
+    fastsim_fingerprint,
+    program_fingerprint,
+    simulator_fingerprint,
+    store_path,
+    warm_start,
+)
 from .source import FacileError, LexError, ParseError, SemanticError
 
 __all__ = [
@@ -67,7 +77,15 @@ __all__ = [
     "SemanticError",
     "SimContext",
     "SimulationError",
+    "SnapshotError",
+    "SnapshotInfo",
     "compile_source",
+    "engine_fingerprint",
+    "fastsim_fingerprint",
+    "program_fingerprint",
     "run_check",
+    "simulator_fingerprint",
+    "store_path",
+    "warm_start",
     "why_dynamic",
 ]

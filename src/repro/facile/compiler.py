@@ -23,6 +23,7 @@ from .optimize import fold_constants
 from .parser import parse
 from .runtime import CompiledSimulator
 from .sema import ProgramInfo, analyze
+from .snapshot import simulator_fingerprint
 from .source import SourceBuffer
 
 
@@ -97,6 +98,10 @@ def compile_source(
         coalesce=coalesce,
     )
     simulator = generator.build(with_plain=with_plain)
+    # Content fingerprint for snapshot addressing: the generated
+    # sources capture action numbering and baked-in machine parameters
+    # exactly, so equal fingerprints guarantee replay compatibility.
+    simulator.fingerprint = simulator_fingerprint(simulator)
     return CompilationResult(
         simulator=simulator,
         info=info,

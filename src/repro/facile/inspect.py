@@ -127,7 +127,9 @@ def cache_summary(cache: ActionCache) -> str:
         f"  records walked:   {n_records} "
         f"({n_forks} dynamic result tests, widest fork {max_succ})",
         f"  bytes:            {stats.bytes_current:,} current, "
-        f"{stats.bytes_cumulative:,} cumulative",
+        f"{stats.bytes_cumulative:,} cumulative "
+        f"({stats.bytes_shared:,} mmap-shared, "
+        f"{stats.bytes_current - stats.bytes_shared:,} private)",
         f"  evictions:        {stats.evictions} rounds "
         f"({stats.entries_evicted} entries evicted, "
         f"{stats.bytes_refunded:,} bytes refunded)",
@@ -148,6 +150,16 @@ def cache_summary(cache: ActionCache) -> str:
             f"{pool.bytes_live:,} bytes live, {hit_rate:.1f}% hit rate, "
             f"{pool.bytes_saved:,} bytes saved",
         ]
+    if stats.snapshot_entries or stats.snapshot_rejected or stats.bytes_shared:
+        n_shared = sum(
+            1 for e in cache.entries.values()
+            if e.packed is not None and e.packed.shared
+        )
+        lines.append(
+            f"  snapshot:         {stats.snapshot_entries} entries loaded, "
+            f"{n_shared} still mmap-backed, "
+            f"{stats.snapshot_rejected} snapshots rejected"
+        )
     return "\n".join(lines)
 
 

@@ -370,12 +370,23 @@ class PackedChain:
     multi-successor nesting) for the trace compiler; ``local_bytes`` is
     the entry-local accounted size (slots + jump tables), excluding the
     shared pool bytes.
+
+    ``shared`` marks a chain whose canonical streams are read-only
+    ``memoryview`` slices of an mmap-backed snapshot (see
+    :mod:`repro.facile.snapshot`) rather than private arrays.  Shared
+    chains arrive with no replay view (``knums is None``); the view is
+    built lazily by :func:`build_replay_view` on the entry's first
+    replay, so unused snapshot entries cost no private RSS.  Everything
+    that reads the canonical streams (replay, unpack, release, the
+    trace compiler) indexes them identically either way; a recovery
+    unpack turns the entry private (copy-on-miss) and repacking builds
+    fresh private arrays.
     """
 
     __slots__ = (
         "nums", "data", "succ", "tables", "ends", "pool",
         "knums", "datavals", "sux",
-        "n_records", "depth", "local_bytes",
+        "n_records", "depth", "local_bytes", "shared",
     )
 
 
@@ -475,7 +486,42 @@ def _pack_records(first, pool: InternPool) -> tuple[PackedChain, int]:
     chain.local_bytes = PACKED_SLOT_BYTES * len(nums) + sum(
         PACKED_TABLE_OVERHEAD + PACKED_JUMP_BYTES * len(t) for t in tables
     )
+    chain.shared = False
     return chain, pool_charged
+
+
+def build_replay_view(chain: PackedChain) -> None:
+    """Materialize the resolved replay view (``knums``/``datavals``/
+    ``sux``) from the canonical streams.
+
+    Chains packed by :func:`_pack_records` build their view inline;
+    mmap-loaded chains arrive without one and call this lazily on their
+    first replay.  The resolution is identical: pool indices become the
+    pooled values themselves, single-successor verifies resolve to the
+    expected value, jump tables and end records alias the canonical
+    lane objects.
+    """
+    knums = list(chain.nums)
+    dstream = chain.data
+    sstream = chain.succ
+    values = chain.pool.values
+    tables = chain.tables
+    ends = chain.ends
+    n = len(knums)
+    datavals: list = [None] * n
+    sux: list = [None] * n
+    for i in range(n):
+        num = knums[i]
+        if num == ENDMARK:
+            sux[i] = ends[sstream[i]]
+            continue
+        datavals[i] = values[dstream[i]]
+        if num < 0:
+            s = sstream[i]
+            sux[i] = values[s] if s >= 0 else tables[~s]
+    chain.knums = knums
+    chain.datavals = datavals
+    chain.sux = sux
 
 
 def _packed_to_records(chain: PackedChain):
@@ -568,6 +614,13 @@ class CacheStats:
     # Flat-pack accounting.
     packs: int = 0
     unpacks: int = 0
+    # Snapshot (warm-start) accounting.  ``bytes_shared`` is the slice
+    # of ``bytes_current`` billed to mmap-backed (shared) chains; the
+    # rest is process-private.  A copy-on-miss unpack or an eviction of
+    # a shared entry moves its bytes out of the shared bucket.
+    bytes_shared: int = 0
+    snapshot_entries: int = 0
+    snapshot_rejected: int = 0
 
 
 #: Fixed accounted cost of one cache entry beyond its key.
@@ -615,6 +668,9 @@ class ActionCache:
         self.pool = InternPool()
         self.entries: dict[tuple, CacheEntry] = {}
         self.stats = CacheStats()
+        # Keep-alive handles for mmap-backed snapshots whose streams
+        # live entries may still reference (repro.facile.snapshot).
+        self.snapshots: list = []
         # Identity-link epoch: bumped only by a full clear, compared by
         # the engine before trusting ``likely_next`` links and compiled
         # traces.  Evicted entries are marked with generation -1 so
@@ -714,6 +770,10 @@ class ActionCache:
             return
         entry.first = _packed_to_records(chain)
         entry.packed = None
+        if chain.shared:
+            # Copy-on-miss: the entry leaves the mmap-backed tier and
+            # becomes process-private (repacking builds fresh arrays).
+            self.stats.bytes_shared -= chain.local_bytes
         pool_freed = 0
         release = self.pool.release
         nums = chain.nums
@@ -739,6 +799,8 @@ class ActionCache:
         if chain is None:
             self._refund(self.entry_bytes(entry))
             return
+        if chain.shared:
+            self.stats.bytes_shared -= chain.local_bytes
         freed = value_bytes(entry.key) + ENTRY_OVERHEAD + chain.local_bytes
         release = self.pool.release
         nums = chain.nums
@@ -791,6 +853,17 @@ class ActionCache:
             self.entry_bytes(e) for e in self.entries.values()
         ) + self.pool.recount()
 
+    def recount_shared_bytes(self) -> int:
+        """Recompute ``bytes_shared`` from scratch: the local bytes of
+        every surviving mmap-backed chain.  Audited alongside
+        :meth:`recount_bytes` after snapshot loads, copy-on-miss
+        unpacks, and evictions."""
+        return sum(
+            e.packed.local_bytes
+            for e in self.entries.values()
+            if e.packed is not None and e.packed.shared
+        )
+
     # -- reclamation -----------------------------------------------------
 
     def maybe_reclaim(self, pinned=None) -> tuple[bool, list[CacheEntry]] | None:
@@ -811,6 +884,7 @@ class ActionCache:
             self.entries.clear()
             self.pool.clear()  # every reference died with the entries
             self.stats.bytes_current = 0
+            self.stats.bytes_shared = 0
             self.stats.clears += 1
             self.generation += 1  # invalidates likely-next links
             return True, []
@@ -1202,6 +1276,11 @@ class CompiledSimulator:
     # functions are compiled against (a copy of) the same namespace so
     # spliced bodies resolve helpers identically.
     namespace: dict = field(default_factory=dict)
+    # Content fingerprint over the generated sources and structural
+    # fields, set by the compiler; snapshot content addressing keys on
+    # it (repro.facile.snapshot).  Hand-built simulators may leave it
+    # empty; the snapshot layer then computes one on demand.
+    fingerprint: str = ""
 
     def make_context(self, externs: dict[str, Callable] | None = None) -> SimContext:
         ctx = SimContext(self.slot_count, self.global_slots, externs)
@@ -1260,6 +1339,31 @@ class FastForwardEngine:
             )
         # Optional per-action replay counts; enable with profile().
         self.action_profile: Counter[int] | None = None
+        # Warm-start reporting: set by load_snapshot/save_snapshot.
+        self.snapshot_load = None
+        self.snapshot_save = None
+
+    # -- snapshots (warm starts) ------------------------------------------
+
+    def load_snapshot(self, path, fingerprint: str):
+        """Warm-start this engine's cache from an mmap-backed snapshot.
+        Must run before any steps (the cache must be empty).  Returns a
+        :class:`repro.facile.snapshot.SnapshotInfo`; a bad or missing
+        file degrades to a cold start, never an exception."""
+        from .snapshot import load_action_cache
+
+        info = load_action_cache(self.cache, path, fingerprint)
+        self.snapshot_load = info
+        return info
+
+    def save_snapshot(self, path, fingerprint: str):
+        """Serialize the cache (complete entries + intern pool) for
+        later warm starts; returns a SnapshotInfo."""
+        from .snapshot import save_action_cache
+
+        info = save_action_cache(self.cache, path, fingerprint)
+        self.snapshot_save = info
+        return info
 
     def profile(self, enabled: bool = True) -> None:
         """Count fast-engine executions per action number (hot-action
@@ -1544,6 +1648,12 @@ class FastForwardEngine:
             while True:
                 chain = entry.packed
                 nums = chain.knums
+                if nums is None:
+                    # First replay of an mmap-loaded chain: resolve its
+                    # per-process view now (lazily, so unused snapshot
+                    # entries stay zero-cost).
+                    build_replay_view(chain)
+                    nums = chain.knums
                 datavals = chain.datavals
                 sux = chain.sux
                 consumed: list = []
@@ -1612,6 +1722,9 @@ class FastForwardEngine:
         replayed = 0
         chain = entry.packed
         nums = chain.knums
+        if nums is None:
+            build_replay_view(chain)
+            nums = chain.knums
         datavals = chain.datavals
         sux = chain.sux
         consumed: list = []

@@ -48,10 +48,14 @@ def run_facile_functional(
     trace_jit: bool = True,
     trace_threshold: int = 64,
     flat_pack: bool = True,
+    cache_dir=None,
+    cache_load=None,
+    cache_save=None,
 ) -> FunctionalRun:
     """Run a program to completion on the Facile functional simulator."""
     compiled = compiled_functional_sim().simulator
     ctx = _prepare_context(compiled, program)
+    warm = None
     if memoized:
         engine = FastForwardEngine(
             compiled, ctx, cache_limit_bytes=cache_limit_bytes,
@@ -59,9 +63,17 @@ def run_facile_functional(
             trace_jit=trace_jit, trace_threshold=trace_threshold,
             flat_pack=flat_pack,
         )
+        from ..facile.snapshot import engine_fingerprint, warm_start
+
+        warm = warm_start(
+            engine, engine_fingerprint(compiled, program),
+            cache_dir=cache_dir, cache_load=cache_load, cache_save=cache_save,
+        )
     else:
         engine = PlainEngine(compiled, ctx)
     stats = engine.run(max_steps=max_steps)
+    if warm is not None:
+        warm.finish()
     return FunctionalRun(
         ctx=ctx,
         engine=engine,

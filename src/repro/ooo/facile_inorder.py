@@ -249,10 +249,23 @@ def run_facile_inorder(
     trace_jit: bool = True, trace_threshold: int = 64,
     cache_limit_bytes: int | None = None, cache_evict: str = "clear",
     flat_pack: bool = True,
+    cache_dir=None, cache_load=None, cache_save=None,
 ) -> InOrderRun:
-    return FacileInOrderSim(
+    sim = FacileInOrderSim(
         program, config, memoized=memoized,
         trace_jit=trace_jit, trace_threshold=trace_threshold,
         cache_limit_bytes=cache_limit_bytes, cache_evict=cache_evict,
         flat_pack=flat_pack,
-    ).run()
+    )
+    warm = None
+    if memoized:
+        from ..facile.snapshot import engine_fingerprint, warm_start
+
+        warm = warm_start(
+            sim.engine, engine_fingerprint(sim.compiled, program),
+            cache_dir=cache_dir, cache_load=cache_load, cache_save=cache_save,
+        )
+    result = sim.run()
+    if warm is not None:
+        warm.finish()
+    return result

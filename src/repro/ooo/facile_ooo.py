@@ -423,6 +423,9 @@ def run_facile_ooo(
     trace_jit: bool = True,
     trace_threshold: int = 64,
     flat_pack: bool = True,
+    cache_dir=None,
+    cache_load=None,
+    cache_save=None,
 ) -> FacileOooRun:
     sim = FacileOooSim(
         program,
@@ -437,4 +440,15 @@ def run_facile_ooo(
         trace_threshold=trace_threshold,
         flat_pack=flat_pack,
     )
-    return sim.run(max_steps=max_steps)
+    warm = None
+    if memoized:
+        from ..facile.snapshot import engine_fingerprint, warm_start
+
+        warm = warm_start(
+            sim.engine, engine_fingerprint(sim.compiled, program),
+            cache_dir=cache_dir, cache_load=cache_load, cache_save=cache_save,
+        )
+    result = sim.run(max_steps=max_steps)
+    if warm is not None:
+        warm.finish()
+    return result

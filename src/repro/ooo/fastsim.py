@@ -118,12 +118,43 @@ class _PackedCycle:
     touches the pool.  The view aliases pooled and canonical-lane
     objects and carries no accounted bytes; accounting, release, and
     unpack read the canonical streams.
+
+    ``shared`` marks a cycle whose streams are ``memoryview`` slices of
+    an mmap-backed snapshot (:mod:`repro.facile.snapshot`); such cycles
+    arrive without a replay view (``kkinds is None``), built lazily by
+    :func:`_build_cycle_view` on first replay.  A recovery unpack turns
+    the entry private (copy-on-miss).
     """
 
     __slots__ = (
         "kinds", "payload", "succ", "tables", "next_keys",
-        "kkinds", "payload_vals", "sux", "local_bytes",
+        "kkinds", "payload_vals", "sux", "local_bytes", "shared",
     )
+
+
+def _build_cycle_view(chain: "_PackedCycle", pool_values: list) -> None:
+    """Materialize the resolved replay view from the canonical streams
+    (the lazy path for mmap-loaded cycles; packing builds it inline)."""
+    kkinds = list(chain.kinds)
+    pstream = chain.payload
+    sstream = chain.succ
+    tables = chain.tables
+    next_keys = chain.next_keys
+    n = len(kkinds)
+    payload_vals: list = [None] * n
+    sux: list = [None] * n
+    for i in range(n):
+        k = kkinds[i]
+        if k == FS_END:
+            sux[i] = next_keys[sstream[i]]
+            continue
+        payload_vals[i] = pool_values[pstream[i]]
+        if k >= FS_CHECK_BASE:
+            s = sstream[i]
+            sux[i] = pool_values[s] if s >= 0 else tables[~s]
+    chain.kkinds = kkinds
+    chain.payload_vals = payload_vals
+    chain.sux = sux
 
 
 @dataclass
@@ -143,6 +174,15 @@ class MemoStats:
     evictions: int = 0
     entries_evicted: int = 0
     bytes_refunded: int = 0
+    #: Bytes of ``bytes_estimate`` billed to mmap-backed (shared)
+    #: packed cycles; the rest is process-private.  Decremented when a
+    #: shared entry is unpacked (copy-on-miss) or evicted.
+    bytes_shared: int = 0
+    #: Entries installed from a snapshot load.
+    snapshot_entries: int = 0
+    #: Snapshot files rejected (stale/corrupt/mismatched) — each fell
+    #: back to a cold start.
+    snapshot_rejected: int = 0
 
 
 @dataclass
@@ -174,6 +214,7 @@ class FastSimOoo:
         if memo_evict not in ("clear", "generational"):
             raise ValueError(f"unknown eviction policy {memo_evict!r}")
         self.config = config or C.MachineConfig()
+        self.program = program
         default_cache, default_pred = C.default_uarch(self.config)
         self.cache = cache if cache is not None else default_cache
         self.predictor = predictor if predictor is not None else default_pred
@@ -200,6 +241,11 @@ class FastSimOoo:
             max(memo_limit_bytes // 8, 1) if memo_limit_bytes else 0
         )
         self._since_gen = 0
+        # Snapshot bookkeeping: keepalive handles for mmap-backed
+        # streams, and the info records of the last load/save.
+        self.snapshots: list = []
+        self.snapshot_load = None
+        self.snapshot_save = None
 
     # -- key handling ----------------------------------------------------------
 
@@ -303,6 +349,42 @@ class FastSimOoo:
             total += self._tree_cost(root)
         return total + self.pool.recount()
 
+    def recount_shared_bytes(self) -> int:
+        """Recompute ``mstats.bytes_shared`` by walking surviving packed
+        cycles still backed by an mmap snapshot — the shared-accounting
+        analogue of :meth:`recount_bytes`."""
+        return sum(
+            root.packed.local_bytes
+            for root in self.memo.values()
+            if root.packed is not None and root.packed.shared
+        )
+
+    # -- snapshots -------------------------------------------------------------
+
+    @property
+    def snapshot_fingerprint(self) -> str:
+        from ..facile.snapshot import fastsim_fingerprint
+
+        return fastsim_fingerprint(self.program, self.config)
+
+    def load_snapshot(self, path, fingerprint: str | None = None):
+        from ..facile.snapshot import load_fastsim_memo
+
+        if fingerprint is None:
+            fingerprint = self.snapshot_fingerprint
+        info = load_fastsim_memo(self, path, fingerprint)
+        self.snapshot_load = info
+        return info
+
+    def save_snapshot(self, path, fingerprint: str | None = None):
+        from ..facile.snapshot import save_fastsim_memo
+
+        if fingerprint is None:
+            fingerprint = self.snapshot_fingerprint
+        info = save_fastsim_memo(self, path, fingerprint)
+        self.snapshot_save = info
+        return info
+
     @staticmethod
     def _tree_cost(root: _Node) -> int:
         """Accounted size of an unpacked node tree, excluding the key
@@ -329,6 +411,7 @@ class FastSimOoo:
             self.memo.clear()
             self.pool.clear()
             self.mstats.bytes_estimate = 0
+            self.mstats.bytes_shared = 0
             self.mstats.clears += 1
             return
         # Generational partial eviction: drop the coldest entries until
@@ -354,6 +437,8 @@ class FastSimOoo:
         refund = root.nbytes
         chain = root.packed
         if chain is not None:
+            if chain.shared:
+                self.mstats.bytes_shared -= chain.local_bytes
             pool = self.pool
             kinds = chain.kinds
             payload = chain.payload
@@ -414,6 +499,11 @@ class FastSimOoo:
         func = self.func
         chain = root.packed
         kinds = chain.kkinds
+        if kinds is None:
+            # mmap-loaded cycle replayed for the first time: build the
+            # resolved view now, so unused entries cost no private RSS.
+            _build_cycle_view(chain, self.pool.values)
+            kinds = chain.kkinds
         payload_vals = chain.payload_vals
         sux = chain.sux
         stats = self.stats
@@ -542,6 +632,7 @@ class FastSimOoo:
         chain.local_bytes = PACKED_SLOT_BYTES * len(kinds) + sum(
             PACKED_TABLE_OVERHEAD + PACKED_JUMP_BYTES * len(t) for t in tables
         )
+        chain.shared = False
         old = root.nbytes
         root.nbytes = root.key_cost + chain.local_bytes
         root.packed = chain
@@ -604,6 +695,10 @@ class FastSimOoo:
         old = root.nbytes
         root.nbytes = root.key_cost + self._tree_cost(root)
         root.packed = None
+        if chain.shared:
+            # Copy-on-miss: the rebuilt tree is process-private; the
+            # mmap-backed streams no longer back a live entry.
+            self.mstats.bytes_shared -= chain.local_bytes
         self.mstats.bytes_estimate += root.nbytes - old - freed
         self.mstats.unpacks += 1
 
@@ -969,6 +1064,9 @@ def run_fastsim(
     memo_limit_bytes: int | None = None,
     memo_evict: str = "clear",
     flat_pack: bool = True,
+    cache_dir=None,
+    cache_load=None,
+    cache_save=None,
 ) -> FastSimOoo:
     sim = FastSimOoo(
         program,
@@ -978,5 +1076,18 @@ def run_fastsim(
         memo_evict=memo_evict,
         flat_pack=flat_pack,
     )
+    warm = None
+    if memoize and flat_pack:
+        from ..facile.snapshot import warm_start
+
+        warm = warm_start(
+            sim,
+            sim.snapshot_fingerprint,
+            cache_dir=cache_dir,
+            cache_load=cache_load,
+            cache_save=cache_save,
+        )
     sim.run(max_cycles)
+    if warm is not None:
+        warm.finish()
     return sim
