@@ -70,6 +70,7 @@ def measure(
     cache_dir=None,
     cache_load=None,
     cache_save=None,
+    replay_backend: str = "python",
 ) -> Measurement:
     """Run `program` to completion on the named simulator configuration.
 
@@ -96,6 +97,7 @@ def measure(
             cache_dir=cache_dir,
             cache_load=cache_load,
             cache_save=cache_save,
+            replay_backend=replay_backend,
         )
         elapsed = time.perf_counter() - start
         extra = {}
@@ -107,6 +109,7 @@ def measure(
                 "bytes_shared": sim.mstats.bytes_shared,
             }
             _snapshot_extra(extra, sim)
+            _backend_extra(extra, sim)
         return Measurement(
             workload_name,
             simulator,
@@ -136,6 +139,7 @@ def measure(
             cache_dir=cache_dir,
             cache_load=cache_load,
             cache_save=cache_save,
+            replay_backend=replay_backend,
         )
         elapsed = time.perf_counter() - start
         if memoized:
@@ -149,6 +153,7 @@ def measure(
                 "bytes_shared": cache_stats.bytes_shared,
             }
             _snapshot_extra(extra, run.engine)
+            _backend_extra(extra, run.engine)
             return Measurement(
                 workload_name,
                 simulator,
@@ -168,6 +173,19 @@ def measure(
             workload_name, simulator, elapsed, run.stats.retired, run.stats.cycles
         )
     raise ValueError(f"unknown simulator {simulator!r}")
+
+
+def _backend_extra(extra: dict, holder) -> None:
+    """Record the active replay backend (and C-kernel readiness time)
+    on a measurement's extra dict."""
+    bstat = getattr(holder, "backend_status", None)
+    if bstat is None:
+        return
+    extra["replay_backend"] = bstat["active"]
+    if bstat["requested"] != bstat["active"]:
+        extra["replay_backend_reason"] = bstat["reason"]
+    if bstat["active"] == "c":
+        extra["ckernel_ms"] = bstat["compile_ms"]
 
 
 def _snapshot_extra(extra: dict, holder) -> None:

@@ -103,6 +103,7 @@ _RUNNERS = {
         cache_limit_bytes=a.cache_limit, cache_evict=a.cache_evict,
         flat_pack=a.flat_pack,
         cache_dir=a.cache_dir, cache_load=a.cache_load, cache_save=a.cache_save,
+        replay_backend=a.replay_backend,
     ),
     "inorder": lambda p, a: run_facile_inorder(
         p, memoized=not a.plain, trace_jit=a.trace_jit,
@@ -110,6 +111,7 @@ _RUNNERS = {
         cache_limit_bytes=a.cache_limit, cache_evict=a.cache_evict,
         flat_pack=a.flat_pack,
         cache_dir=a.cache_dir, cache_load=a.cache_load, cache_save=a.cache_save,
+        replay_backend=a.replay_backend,
     ),
     "inorder-ref": lambda p, a: run_inorder(p),
     "ooo": lambda p, a: run_facile_ooo(
@@ -118,6 +120,7 @@ _RUNNERS = {
         cache_limit_bytes=a.cache_limit, cache_evict=a.cache_evict,
         flat_pack=a.flat_pack,
         cache_dir=a.cache_dir, cache_load=a.cache_load, cache_save=a.cache_save,
+        replay_backend=a.replay_backend,
     ),
     "ooo-ref": lambda p, a: run_reference(p),
     "ooo-fastsim": lambda p, a: run_fastsim(
@@ -125,6 +128,7 @@ _RUNNERS = {
         memo_limit_bytes=a.cache_limit, memo_evict=a.cache_evict,
         flat_pack=a.flat_pack,
         cache_dir=a.cache_dir, cache_load=a.cache_load, cache_save=a.cache_save,
+        replay_backend=a.replay_backend,
     ),
 }
 
@@ -153,6 +157,27 @@ def _report_run(kind: str, result, elapsed: float) -> None:
                   f"{rs.steps_slow:,} slow, {rs.steps_recovered:,} recovered")
     del run_stats
     engine = getattr(result, "engine", None)
+    # Replay backend status (printed whenever a non-default backend was
+    # requested; the CI smoke greps for "replay backend: ...").
+    bstat = getattr(engine, "backend_status", None) or getattr(
+        result, "backend_status", None
+    )
+    if bstat is not None and (
+        bstat["requested"] != "python" or bstat["active"] != "python"
+    ):
+        if bstat["active"] == "c":
+            line = (f"replay backend: c "
+                    f"(kernel ready in {bstat['compile_ms']:.1f} ms")
+            native = getattr(engine, "_cnative", None)
+            if native is not None:
+                ns = native.summary()
+                line += (f"; {ns['chains_lowered']:,} chains lowered, "
+                         f"{ns['runs']:,} kernel runs, "
+                         f"{ns['python_fallbacks']:,} python fallbacks")
+            print(line + ")")
+        else:
+            print(f"replay backend: python "
+                  f"(requested {bstat['requested']}: {bstat['reason']})")
     manager = getattr(engine, "traces", None)
     if manager is not None and manager.stats.traces_compiled:
         agg = manager.aggregate()
@@ -402,6 +427,12 @@ def _add_trace_flags(p: argparse.ArgumentParser) -> None:
         "--cache-save", default=None, metavar="FILE",
         help="save the action cache to a specific snapshot file after "
         "the run (overrides the --cache-dir save path)",
+    )
+    p.add_argument(
+        "--replay-backend", choices=("python", "c"), default="python",
+        help="packed-chain replay backend: the Python loop (default) or "
+        "a C kernel compiled once per process, degrading to Python "
+        "when no C compiler is available",
     )
 
 

@@ -108,8 +108,12 @@ def _dump_chain(rec, lines: list[str], indent: int, budget: list[int]) -> None:
         lines.append(f"{pad}... (truncated)")
 
 
-def cache_summary(cache: ActionCache) -> str:
-    """Aggregate statistics plus a path-shape census of the cache."""
+def cache_summary(cache: ActionCache, engine=None) -> str:
+    """Aggregate statistics plus a path-shape census of the cache.
+
+    With ``engine`` (a :class:`FastForwardEngine`), also reports the
+    active replay backend, the C-kernel compile status, and the native
+    lowering/dispatch counters."""
     stats = cache.stats
     n_forks = 0
     n_records = 0
@@ -160,6 +164,29 @@ def cache_summary(cache: ActionCache) -> str:
             f"{n_shared} still mmap-backed, "
             f"{stats.snapshot_rejected} snapshots rejected"
         )
+    bstat = getattr(engine, "backend_status", None)
+    if bstat is not None:
+        if bstat["active"] == "c":
+            lines.append(
+                f"  replay backend:   c (kernel ready in "
+                f"{bstat['compile_ms']:.1f} ms)"
+            )
+        elif bstat["requested"] != "python":
+            lines.append(
+                f"  replay backend:   python (requested "
+                f"{bstat['requested']}: {bstat['reason']})"
+            )
+        else:
+            lines.append("  replay backend:   python")
+        native = getattr(engine, "_cnative", None)
+        if native is not None:
+            ns = native.summary()
+            lines.append(
+                f"  native replay:    {ns['chains_lowered']:,} chains "
+                f"lowered ({ns['chains_unlowerable']:,} unlowerable), "
+                f"{ns['runs']:,} kernel runs, "
+                f"{ns['python_fallbacks']:,} python fallbacks"
+            )
     return "\n".join(lines)
 
 

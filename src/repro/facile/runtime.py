@@ -575,7 +575,8 @@ def entry_first_record(entry):
 
 class CacheEntry:
     __slots__ = (
-        "key", "first", "packed", "complete", "generation", "stamp", "hot", "trace"
+        "key", "first", "packed", "complete", "generation", "stamp", "hot",
+        "trace", "cnative"
     )
 
     def __init__(self, key: tuple, generation: int = 0):
@@ -594,6 +595,9 @@ class CacheEntry:
         # compiled Trace (or NO_TRACE sentinel) rooted at this entry.
         self.hot = 0
         self.trace: object | None = None
+        # C replay backend: None = not yet lowered, -1 = unlowerable,
+        # else the kernel-side chain id (repro.facile.cbackend).
+        self.cnative: int | None = None
 
 
 @dataclass
@@ -668,6 +672,10 @@ class ActionCache:
         self.pool = InternPool()
         self.entries: dict[tuple, CacheEntry] = {}
         self.stats = CacheStats()
+        # The C replay backend (repro.facile.cbackend.CReplayBackend)
+        # when one is driving this cache; lowered chains must die in
+        # lockstep with unpacks, evictions, and clears.
+        self.native = None
         # Keep-alive handles for mmap-backed snapshots whose streams
         # live entries may still reference (repro.facile.snapshot).
         self.snapshots: list = []
@@ -768,6 +776,8 @@ class ActionCache:
         chain = entry.packed
         if chain is None:
             return
+        if self.native is not None:
+            self.native.drop_entry(entry)
         entry.first = _packed_to_records(chain)
         entry.packed = None
         if chain.shared:
@@ -795,6 +805,8 @@ class ActionCache:
     def _release_entry(self, entry: CacheEntry) -> None:
         """Refund an entry leaving the cache (eviction or stale
         overwrite), releasing its pool references when packed."""
+        if self.native is not None:
+            self.native.drop_entry(entry)
         chain = entry.packed
         if chain is None:
             self._refund(self.entry_bytes(entry))
@@ -881,6 +893,8 @@ class ActionCache:
     def reclaim(self, pinned=None) -> tuple[bool, list[CacheEntry]]:
         """Apply the eviction policy unconditionally (see maybe_reclaim)."""
         if self.evict_policy == "clear":
+            if self.native is not None:
+                self.native.drop_all()
             self.entries.clear()
             self.pool.clear()  # every reference died with the entries
             self.stats.bytes_current = 0
@@ -934,6 +948,9 @@ class Memory:
 
     def __init__(self) -> None:
         self._pages: dict[int, bytearray] = {}
+        # Bumped whenever the page dict is replaced wholesale (restore);
+        # the C replay backend re-pins its page pointers on a change.
+        self._epoch = 0
 
     def _page(self, addr: int) -> tuple[bytearray, int]:
         page = self._pages.get(addr >> self.PAGE_BITS)
@@ -1083,6 +1100,7 @@ class SimContext:
 
         self.S[:] = copy.deepcopy(snap["S"])
         self.mem._pages = {k: bytearray(v) for k, v in snap["pages"].items()}
+        self.mem._epoch += 1  # old page buffers are dead to native code
         self.halted = snap["halted"]
         self.retired_total = snap["retired_total"]
         self.retired_fast = snap["retired_fast"]
@@ -1309,6 +1327,7 @@ class FastForwardEngine:
         trace_jit: bool = True,
         trace_threshold: int = 64,
         flat_pack: bool = True,
+        replay_backend: str = "python",
     ):
         from .tracecomp import TraceManager
 
@@ -1342,6 +1361,45 @@ class FastForwardEngine:
         # Warm-start reporting: set by load_snapshot/save_snapshot.
         self.snapshot_load = None
         self.snapshot_save = None
+        # Replay backend selection.  ``backend_status`` reports what was
+        # requested vs what actually runs (graceful degradation keeps
+        # ``active == "python"`` with a reason, never a hard failure).
+        self._cnative = None
+        self.backend_status = {
+            "requested": replay_backend,
+            "active": "python",
+            "reason": "",
+            "compile_ms": 0.0,
+        }
+        if replay_backend not in ("python", "c"):
+            raise ValueError(f"unknown replay backend {replay_backend!r}")
+        if replay_backend == "c":
+            self._init_cbackend()
+
+    def _init_cbackend(self) -> None:
+        """Stand up the C replay backend when the environment allows;
+        every refusal degrades to the Python loop with a reported
+        reason (backend_status) rather than an error."""
+        status = self.backend_status
+        if not self.compiled.action_bodies:
+            status["reason"] = "no recorded action bodies to lower"
+            return
+        if not self.cache.flat_pack:
+            status["reason"] = "flat packing disabled (--no-flat-pack)"
+            return
+        if len(self.ctx.S) > 64:
+            status["reason"] = "too many state slots for the kernel"
+            return
+        from .cbackend import CReplayBackend, load_kernel
+
+        kernel = load_kernel()
+        status["compile_ms"] = kernel.status.compile_ms
+        if not kernel.status.available:
+            status["reason"] = kernel.status.reason
+            return
+        self._cnative = CReplayBackend(self, kernel)
+        self.cache.native = self._cnative
+        status["active"] = "c"
 
     # -- snapshots (warm starts) ------------------------------------------
 
@@ -1426,6 +1484,13 @@ class FastForwardEngine:
             and index_links
             and id_links
         )
+        # The C replay backend, when active.  Profiling needs per-action
+        # attribution, so it forces the interpreter tiers.  Kernel-side
+        # link chaining is sound on the same terms as Python chaining
+        # (identity-trustworthy links); without them it runs one step
+        # per call, exactly like the budget-1 packed loop.
+        cnative = self._cnative if self.action_profile is None else None
+        c_chain = index_links and id_links
         steps = 0
         last_end: EndRecord | None = None
         while not ctx.halted and (max_steps is None or steps < max_steps):
@@ -1496,29 +1561,55 @@ class FastForwardEngine:
                         stats.steps_total += 1
                         last_end = None
                 elif entry.packed is not None:
-                    if chain_steps:
-                        budget = (
-                            max_steps - steps if max_steps is not None
-                            else UNBOUNDED_BUDGET
-                        )
+                    cres = None
+                    if cnative is not None:
+                        if c_chain:
+                            budget = (
+                                max_steps - steps if max_steps is not None
+                                else UNBOUNDED_BUDGET
+                            )
+                        else:
+                            budget = 1
+                        cres = cnative.run_entry(entry, budget)
+                    if cres is not None:
+                        end, n = cres
+                        stats.steps_fast += n
+                        steps += n
+                        stats.steps_total += n
+                        if end is None:
+                            stats.steps_recovered += 1
+                            steps += 1
+                            stats.steps_total += 1
+                            last_end = None
+                        else:
+                            last_end = end
+                        # Kernel-replayed entries never accrue ``hot``:
+                        # the native loop subsumes the trace tier, which
+                        # keeps serving chains the IR refuses.
                     else:
-                        budget = 1
-                    end, n = self._fast_step_packed(entry, budget)
-                    stats.steps_fast += n
-                    steps += n
-                    stats.steps_total += n
-                    if end is None:
-                        stats.steps_recovered += 1
-                        steps += 1
-                        stats.steps_total += 1
-                        last_end = None
-                    else:
-                        last_end = end
-                        if traces is not None and trace is None:
-                            hot = entry.hot + 1
-                            entry.hot = hot
-                            if hot >= threshold:
-                                traces.promote(entry, stats.steps_total)
+                        if chain_steps:
+                            budget = (
+                                max_steps - steps if max_steps is not None
+                                else UNBOUNDED_BUDGET
+                            )
+                        else:
+                            budget = 1
+                        end, n = self._fast_step_packed(entry, budget)
+                        stats.steps_fast += n
+                        steps += n
+                        stats.steps_total += n
+                        if end is None:
+                            stats.steps_recovered += 1
+                            steps += 1
+                            stats.steps_total += 1
+                            last_end = None
+                        else:
+                            last_end = end
+                            if traces is not None and trace is None:
+                                hot = entry.hot + 1
+                                entry.hot = hot
+                                if hot >= threshold:
+                                    traces.promote(entry, stats.steps_total)
                 else:
                     end = self._fast_step(entry)
                     steps += 1

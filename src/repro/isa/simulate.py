@@ -51,6 +51,7 @@ def run_facile_functional(
     cache_dir=None,
     cache_load=None,
     cache_save=None,
+    replay_backend: str = "python",
 ) -> FunctionalRun:
     """Run a program to completion on the Facile functional simulator."""
     compiled = compiled_functional_sim().simulator
@@ -61,7 +62,7 @@ def run_facile_functional(
             compiled, ctx, cache_limit_bytes=cache_limit_bytes,
             cache_evict=cache_evict,
             trace_jit=trace_jit, trace_threshold=trace_threshold,
-            flat_pack=flat_pack,
+            flat_pack=flat_pack, replay_backend=replay_backend,
         )
         from ..facile.snapshot import engine_fingerprint, warm_start
 

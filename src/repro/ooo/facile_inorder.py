@@ -190,7 +190,8 @@ class FacileInOrderSim:
                  trace_threshold: int = 64,
                  cache_limit_bytes: int | None = None,
                  cache_evict: str = "clear",
-                 flat_pack: bool = True):
+                 flat_pack: bool = True,
+                 replay_backend: str = "python"):
         self.config = config or C.MachineConfig()
         self.program = program
         self.compiled = compiled_inorder_sim(self.config).simulator
@@ -208,7 +209,7 @@ class FacileInOrderSim:
                 cache_limit_bytes=cache_limit_bytes,
                 cache_evict=cache_evict,
                 trace_jit=trace_jit, trace_threshold=trace_threshold,
-                flat_pack=flat_pack,
+                flat_pack=flat_pack, replay_backend=replay_backend,
             )
         else:
             self.engine = PlainEngine(self.compiled, self.ctx)
@@ -250,12 +251,13 @@ def run_facile_inorder(
     cache_limit_bytes: int | None = None, cache_evict: str = "clear",
     flat_pack: bool = True,
     cache_dir=None, cache_load=None, cache_save=None,
+    replay_backend: str = "python",
 ) -> InOrderRun:
     sim = FacileInOrderSim(
         program, config, memoized=memoized,
         trace_jit=trace_jit, trace_threshold=trace_threshold,
         cache_limit_bytes=cache_limit_bytes, cache_evict=cache_evict,
-        flat_pack=flat_pack,
+        flat_pack=flat_pack, replay_backend=replay_backend,
     )
     warm = None
     if memoized:

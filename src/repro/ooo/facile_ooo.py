@@ -340,6 +340,7 @@ class FacileOooSim:
         trace_jit: bool = True,
         trace_threshold: int = 64,
         flat_pack: bool = True,
+        replay_backend: str = "python",
     ):
         self.config = config or C.MachineConfig()
         self.program = program
@@ -361,6 +362,7 @@ class FacileOooSim:
                 trace_jit=trace_jit,
                 trace_threshold=trace_threshold,
                 flat_pack=flat_pack,
+                replay_backend=replay_backend,
             )
         else:
             self.engine = PlainEngine(self.compiled, self.ctx)
@@ -426,6 +428,7 @@ def run_facile_ooo(
     cache_dir=None,
     cache_load=None,
     cache_save=None,
+    replay_backend: str = "python",
 ) -> FacileOooRun:
     sim = FacileOooSim(
         program,
@@ -439,6 +442,7 @@ def run_facile_ooo(
         trace_jit=trace_jit,
         trace_threshold=trace_threshold,
         flat_pack=flat_pack,
+        replay_backend=replay_backend,
     )
     warm = None
     if memoized:

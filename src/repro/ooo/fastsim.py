@@ -157,6 +157,57 @@ def _build_cycle_view(chain: "_PackedCycle", pool_values: list) -> None:
     chain.sux = sux
 
 
+def cycle_ir(chain: "_PackedCycle", pool_values: list):
+    """Plan a :class:`_PackedCycle` in the backend-agnostic replay-IR
+    vocabulary of :mod:`repro.facile.replay_ir` — the shared chain
+    contract both replay twins target.
+
+    Maps the fastsim slot encodings onto the IR step kinds:
+
+    * plain ``EV_*`` events     → ``K_ACTION`` (aux = the EV_* kind);
+    * ``FS_CHECK_BASE + EV_k``  → ``K_VERIFY_EQ`` (single expected
+      value; match falls through) or ``K_VERIFY_TAB`` (``~t`` shared
+      jump table), exactly the Facile ``~num`` verify split;
+    * ``FS_END``                → ``K_END`` (aux = ``next_keys`` index).
+
+    Returns ``(kinds, payloads, succ)`` parallel lists where ``kinds``
+    holds ``K_*`` codes, ``payloads`` the pooled event/check tuples, and
+    ``succ`` the fall-through/expected/table successor per slot.  The
+    fastsim events themselves call host-Python models, so this view is
+    descriptive (tests, inspect) rather than a C-lowering input — the
+    kernel path rejects fastsim with a reported reason.
+    """
+    from ..facile.replay_ir import (
+        K_ACTION, K_END, K_VERIFY_EQ, K_VERIFY_TAB,
+    )
+
+    kinds: list[int] = []
+    payloads: list = []
+    succ: list = []
+    sstream = chain.succ
+    pstream = chain.payload
+    for i, k in enumerate(chain.kinds):
+        if k == FS_END:
+            kinds.append(K_END)
+            payloads.append(sstream[i])
+            succ.append(None)
+        elif k >= FS_CHECK_BASE:
+            s = sstream[i]
+            if s >= 0:
+                kinds.append(K_VERIFY_EQ)
+                payloads.append(pool_values[pstream[i]])
+                succ.append(pool_values[s])
+            else:
+                kinds.append(K_VERIFY_TAB)
+                payloads.append(pool_values[pstream[i]])
+                succ.append(chain.tables[~s])
+        else:
+            kinds.append(K_ACTION)
+            payloads.append(pool_values[pstream[i]])
+            succ.append(None)
+    return kinds, payloads, succ
+
+
 @dataclass
 class MemoStats:
     entries: int = 0
@@ -210,9 +261,12 @@ class FastSimOoo:
         cache=None,
         predictor=None,
         flat_pack: bool = True,
+        replay_backend: str = "python",
     ):
         if memo_evict not in ("clear", "generational"):
             raise ValueError(f"unknown eviction policy {memo_evict!r}")
+        if replay_backend not in ("python", "c"):
+            raise ValueError(f"unknown replay backend {replay_backend!r}")
         self.config = config or C.MachineConfig()
         self.program = program
         default_cache, default_pred = C.default_uarch(self.config)
@@ -246,6 +300,19 @@ class FastSimOoo:
         self.snapshots: list = []
         self.snapshot_load = None
         self.snapshot_save = None
+        # The fastsim twin shares the chain encoding (see cycle_ir) but
+        # its events call host-Python models (FunctionalSim.execute, the
+        # cache/predictor objects), so the C kernel cannot run them; a
+        # "c" request degrades to the Python loop with a reported reason.
+        self.backend_status = {
+            "requested": replay_backend,
+            "active": "python",
+            "reason": (
+                "fastsim events call host-Python models"
+                if replay_backend == "c" else ""
+            ),
+            "compile_ms": 0.0,
+        }
 
     # -- key handling ----------------------------------------------------------
 
@@ -1067,6 +1134,7 @@ def run_fastsim(
     cache_dir=None,
     cache_load=None,
     cache_save=None,
+    replay_backend: str = "python",
 ) -> FastSimOoo:
     sim = FastSimOoo(
         program,
@@ -1075,6 +1143,7 @@ def run_fastsim(
         memo_limit_bytes=memo_limit_bytes,
         memo_evict=memo_evict,
         flat_pack=flat_pack,
+        replay_backend=replay_backend,
     )
     warm = None
     if memoize and flat_pack:

@@ -1,0 +1,335 @@
+"""Golden parity, degradation, and IR tests for the C replay backend.
+
+The contract under test (docs/INTERNALS.md "Replay IR & C backend"):
+running any workload with ``replay_backend="c"`` must produce
+bit-identical simulated results to the Python packed loop — same
+cycles, same architectural state, same cache statistics (vs the
+no-trace Python tiers, which the kernel subsumes) — and environments
+without a C compiler must degrade to Python with a reported,
+non-fatal status.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.facile.cbackend import _reset_kernel_for_tests, load_kernel
+from repro.facile.replay_ir import (
+    K_ACTION,
+    K_END,
+    K_VERIFY_EQ,
+    K_VERIFY_TAB,
+    ExternTable,
+    Unlowerable,
+    compile_body,
+    interpret_body,
+)
+from repro.isa.simulate import run_facile_functional
+from repro.ooo.facile_inorder import run_facile_inorder
+from repro.ooo.facile_ooo import run_facile_ooo
+from repro.ooo.fastsim import cycle_ir, run_fastsim
+from repro.workloads.suite import build_cached
+
+KERNEL = load_kernel()
+requires_cc = pytest.mark.skipif(
+    not KERNEL.status.available,
+    reason=f"C kernel unavailable: {KERNEL.status.reason}",
+)
+
+
+# ---------------------------------------------------------------------------
+# Body IR: compile_body / interpret_body (no compiler needed)
+# ---------------------------------------------------------------------------
+
+
+def _body(lines, shapes="", is_verify=False):
+    return compile_body(0, list(lines), shapes, is_verify, ExternTable())
+
+
+class _NullCtx:
+    """Just enough context for bodies that never touch memory/stats."""
+
+    mem = None
+
+
+def _interp(prog, S, data):
+    return interpret_body(prog, _NullCtx(), S, data)
+
+
+def test_body_arithmetic_roundtrip():
+    prog = _body(["_S[0] = (_ph0 + 7) * 3 - (_ph0 >> 2)"], "i")
+    S = [0]
+    _interp(prog, S, (20,))
+    assert S[0] == (20 + 7) * 3 - (20 >> 2)
+
+
+def test_body_conditional_is_lazy():
+    # Only the chosen arm executes; the other may divide by zero.
+    prog = _body(["_S[0] = idiv(_S[1], _ph0) if _ph0 != 0 else -1"], "i")
+    S = [0, 42]
+    _interp(prog, S, (0,))
+    assert S[0] == -1
+    _interp(prog, S, (6,))
+    assert S[0] == 7
+
+
+def test_body_verify_returns_value():
+    prog = _body(["return 1 if _S[0] < _ph0 else 0"], "i", is_verify=True)
+    assert _interp(prog, [3], (5,)) == 1
+    assert _interp(prog, [9], (5,)) == 0
+
+
+@pytest.mark.parametrize(
+    "lines, shapes, is_verify",
+    [
+        (["_S[0] = _ph0 ** 2"], "i", False),  # Pow is outside the IR
+        (["_S[0] = frobnicate(1)"], "", False),  # unknown call
+        (["_S[0] = mystery"], "", False),  # unknown name
+        (["for i in [1]: _S[0] = i"], "", False),  # loop statement
+        (["_S[0] = _ph0 + 1"], "o", False),  # object in arithmetic
+        (["return 5"], "", False),  # return outside a verify body
+        (["_S[0] = 1"], "", True),  # verify body missing return
+    ],
+)
+def test_body_unlowerable(lines, shapes, is_verify):
+    with pytest.raises(Unlowerable):
+        _body(lines, shapes, is_verify)
+
+
+# ---------------------------------------------------------------------------
+# Kernel status reporting
+# ---------------------------------------------------------------------------
+
+
+def test_kernel_status_shape():
+    st = KERNEL.status
+    assert st.available in (True, False)
+    if st.available:
+        assert st.compile_ms >= 0.0
+        assert st.path
+    else:
+        assert st.reason
+
+
+# ---------------------------------------------------------------------------
+# Golden parity: C vs Python, cold and warm
+# ---------------------------------------------------------------------------
+
+ENGINE_SIMS = ("functional", "inorder", "ooo")
+
+
+def _run(sim_name, program, backend, **kw):
+    """Returns (architectural digest, engine-or-sim, result)."""
+    if sim_name == "functional":
+        r = run_facile_functional(program, replay_backend=backend, **kw)
+        return (r.retired, tuple(r.regs), r.halted), r.engine, r
+    if sim_name == "inorder":
+        r = run_facile_inorder(program, replay_backend=backend, **kw)
+        return (r.stats, r.halted), r.engine, r
+    if sim_name == "ooo":
+        r = run_facile_ooo(program, replay_backend=backend, **kw)
+        return (r.stats, r.halted), r.engine, r
+    r = run_fastsim(program, replay_backend=backend, **kw)
+    return (r.stats, r.func.halted), r, r
+
+
+def _cache_digest(engine):
+    """Every cache statistic the two backends must agree on (the trace
+    tier is off for these runs: the kernel subsumes it)."""
+    cs = engine.cache.stats
+    return (
+        cs.lookups, cs.hits, cs.misses_new_key, cs.misses_verify,
+        cs.bytes_current, cs.entries_created,
+    )
+
+
+@requires_cc
+@pytest.mark.parametrize("sim_name", ENGINE_SIMS)
+def test_cold_parity_exact_stats(sim_name):
+    """Cold runs (cache warming → verify-miss side exits, recoveries)
+    are bit-identical between backends, down to every cache statistic,
+    with the trace tier disabled on both sides."""
+    program = build_cached("compress", 2)
+    dig_p, eng_p, res_p = _run(sim_name, program, "python", trace_jit=False)
+    dig_c, eng_c, res_c = _run(sim_name, program, "c", trace_jit=False)
+    assert dig_c == dig_p
+    assert _cache_digest(eng_c) == _cache_digest(eng_p)
+    rs_p = res_p.run_stats if hasattr(res_p, "run_stats") else res_p.stats
+    rs_c = res_c.run_stats if hasattr(res_c, "run_stats") else res_c.stats
+    for f in ("steps_total", "steps_fast", "steps_slow", "steps_recovered",
+              "actions_replayed"):
+        assert getattr(rs_c, f) == getattr(rs_p, f), f
+    # The cold run must actually exercise the side-exit path.
+    assert eng_c.cache.stats.misses_verify > 0
+    assert eng_c.backend_status["active"] == "c"
+    assert eng_c._cnative.runs > 0
+    assert eng_c._cnative.chains_unlowerable == 0
+
+
+@requires_cc
+@pytest.mark.parametrize("sim_name", ENGINE_SIMS)
+def test_cold_parity_default_config(sim_name):
+    """With default settings (trace JIT on for the Python side) the
+    simulated results still match bit-for-bit."""
+    program = build_cached("compress", 2)
+    dig_p, _, _ = _run(sim_name, program, "python")
+    dig_c, eng_c, _ = _run(sim_name, program, "c")
+    assert dig_c == dig_p
+    assert eng_c.backend_status["active"] == "c"
+
+
+@requires_cc
+def test_fastsim_degrades_with_reason():
+    program = build_cached("compress", 1)
+    dig_p, _, _ = _run("fastsim", program, "python")
+    dig_c, sim, _ = _run("fastsim", program, "c")
+    assert dig_c == dig_p
+    assert sim.backend_status["active"] == "python"
+    assert "host-Python" in sim.backend_status["reason"]
+
+
+@requires_cc
+@pytest.mark.parametrize("sim_name", ("functional", "ooo"))
+def test_eviction_mid_run_parity_and_audit(sim_name):
+    """Generational eviction under a tight budget drops lowered chains
+    mid-run; results and byte accounting stay exact."""
+    program = build_cached("compress", 2)
+    kw = dict(cache_limit_bytes=48_000, cache_evict="generational",
+              trace_jit=False)
+    dig_p, eng_p, _ = _run(sim_name, program, "python", **kw)
+    dig_c, eng_c, _ = _run(sim_name, program, "c", **kw)
+    assert dig_c == dig_p
+    assert eng_c.cache.stats.evictions > 0
+    assert eng_c.cache.recount_bytes() == eng_c.cache.stats.bytes_current
+    assert eng_c.cache.stats.evictions == eng_p.cache.stats.evictions
+    assert eng_c.cache.stats.entries_evicted == eng_p.cache.stats.entries_evicted
+
+
+# ---------------------------------------------------------------------------
+# Snapshots: warm parity and cross-backend loads
+# ---------------------------------------------------------------------------
+
+
+@requires_cc
+@pytest.mark.parametrize("sim_name", ENGINE_SIMS)
+@pytest.mark.parametrize("save_backend, load_backend",
+                         [("python", "c"), ("c", "python"), ("c", "c")])
+def test_snapshot_cross_backend(tmp_path, sim_name, save_backend,
+                                load_backend):
+    """A .facsnap saved under one backend loads under the other: same
+    simulated results, mmap-shared chains replayed, byte audits exact."""
+    program = build_cached("compress", 1)
+    snap = tmp_path / "cache.facsnap"
+    cold_dig, cold_eng, _ = _run(
+        sim_name, program, save_backend, cache_save=str(snap))
+    assert cold_eng.snapshot_save.hit
+    warm_dig, warm_eng, warm_res = _run(
+        sim_name, program, load_backend, cache_load=str(snap))
+    assert warm_eng.snapshot_load.hit, warm_eng.snapshot_load.reason
+    assert warm_dig == cold_dig
+    rs = (warm_res.run_stats if hasattr(warm_res, "run_stats")
+          else warm_res.stats)
+    assert rs.steps_slow == 0
+    cache = warm_eng.cache
+    assert cache.stats.bytes_shared > 0
+    assert cache.recount_bytes() == cache.stats.bytes_current
+    assert cache.recount_shared_bytes() == cache.stats.bytes_shared
+    if load_backend == "c":
+        assert warm_eng.backend_status["active"] == "c"
+        assert warm_eng._cnative.runs > 0
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def fresh_kernel_singleton():
+    _reset_kernel_for_tests()
+    yield
+    _reset_kernel_for_tests()
+
+
+def test_masked_compiler_degrades(monkeypatch, fresh_kernel_singleton):
+    monkeypatch.setenv("FACILE_NO_CC", "1")
+    program = build_cached("compress", 1)
+    r = run_facile_functional(program, replay_backend="c")
+    bs = r.engine.backend_status
+    assert bs["requested"] == "c"
+    assert bs["active"] == "python"
+    assert "masked" in bs["reason"]
+    assert r.halted
+    # And the same run finishes identically to an explicit python run.
+    rp = run_facile_functional(program, replay_backend="python")
+    assert (r.retired, r.regs, r.halted) == (rp.retired, rp.regs, rp.halted)
+
+
+def test_no_flat_pack_degrades_with_reason():
+    program = build_cached("compress", 1)
+    r = run_facile_functional(program, replay_backend="c", flat_pack=False)
+    bs = r.engine.backend_status
+    assert bs["active"] == "python"
+    assert "flat pack" in bs["reason"]
+    assert r.halted
+
+
+def test_unknown_backend_rejected():
+    program = build_cached("compress", 1)
+    with pytest.raises(ValueError):
+        run_facile_functional(program, replay_backend="rust")
+    with pytest.raises(ValueError):
+        run_fastsim(program, replay_backend="rust")
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+
+@requires_cc
+def test_cache_summary_reports_backend():
+    from repro.facile.inspect import cache_summary
+
+    program = build_cached("compress", 1)
+    r = run_facile_functional(program, replay_backend="c", trace_jit=False)
+    text = cache_summary(r.engine.cache, engine=r.engine)
+    assert "replay backend:   c" in text
+    assert "native replay:" in text
+    rp = run_facile_functional(program, replay_backend="python")
+    text_p = cache_summary(rp.engine.cache, engine=rp.engine)
+    assert "replay backend:   python" in text_p
+    # Legacy one-argument form keeps working.
+    assert "replay backend" not in cache_summary(rp.engine.cache)
+
+
+# ---------------------------------------------------------------------------
+# The fastsim twin's IR view
+# ---------------------------------------------------------------------------
+
+
+def test_fastsim_cycle_ir_vocabulary():
+    """cycle_ir maps every packed fastsim cycle into the shared replay
+    IR kinds with consistent successors."""
+    program = build_cached("compress", 1)
+    sim = run_fastsim(program)
+    pool_values = sim.pool.values
+    checked = 0
+    for node in sim.memo.values():
+        chain = node.packed
+        if chain is None:
+            continue
+        kinds, payloads, succ = cycle_ir(chain, pool_values)
+        assert len(kinds) == len(chain.kinds)
+        assert kinds.count(K_END) >= 1
+        for k, p, s in zip(kinds, payloads, succ):
+            if k == K_END:
+                assert isinstance(p, int) and s is None
+            elif k == K_ACTION:
+                assert isinstance(p, tuple) and s is None
+            elif k == K_VERIFY_EQ:
+                assert s is not None and not isinstance(s, dict)
+            else:
+                assert k == K_VERIFY_TAB and isinstance(s, dict)
+        checked += 1
+    assert checked > 0
