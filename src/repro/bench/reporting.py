@@ -7,7 +7,7 @@ tables directly comparable to the originals.
 
 from __future__ import annotations
 
-from .harness import Measurement, harmonic_mean
+from .harness import Measurement, harmonic_mean_coverage
 
 
 def _by(measurements: list[Measurement]) -> dict[tuple[str, str], Measurement]:
@@ -39,6 +39,9 @@ def render_speed_figure(
     )
     lines.append(header)
     lines.append("-" * len(header))
+    # Every workload contributes a slot; a missing or failed (zero)
+    # cell stays in the list as 0.0 so the hmean coverage below counts
+    # it as dropped instead of silently inflating the mean.
     ratios_base: list[float] = []
     ratios_self: list[float] = []
     for w in _workloads(measurements):
@@ -46,6 +49,9 @@ def render_speed_figure(
         nomemo = table.get((w, nomemo_sim))
         base = table.get((w, "simplescalar"))
         if memo is None or nomemo is None or base is None:
+            ratios_base.append(0.0)
+            ratios_self.append(0.0)
+            lines.append(f"{w:<12} {'(missing cell — dropped from hmean)':>56}")
             continue
         r_base = memo.kips / base.kips if base.kips else 0.0
         r_self = memo.kips / nomemo.kips if nomemo.kips else 0.0
@@ -56,10 +62,19 @@ def render_speed_figure(
             f"{r_base:>9.2f}x {r_self:>11.2f}x"
         )
     lines.append("-" * len(header))
+    h_base, used_base, total = harmonic_mean_coverage(ratios_base)
+    h_self, used_self, _ = harmonic_mean_coverage(ratios_self)
+    used = min(used_base, used_self)
+    label = "hmean" if used == total else f"hmean {used}/{total}"
     lines.append(
-        f"{'hmean':<12} {'':>10} {'':>10} {'':>10} "
-        f"{harmonic_mean(ratios_base):>9.2f}x {harmonic_mean(ratios_self):>11.2f}x"
+        f"{label:<12} {'':>10} {'':>10} {'':>10} "
+        f"{h_base:>9.2f}x {h_self:>11.2f}x"
     )
+    if used < total:
+        lines.append(
+            f"(harmonic means cover {used}/{total} benchmarks; "
+            f"{total - used} failed or missing cells were dropped)"
+        )
     return "\n".join(lines)
 
 

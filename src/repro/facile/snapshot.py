@@ -384,11 +384,28 @@ def _frame(kind: int, fingerprint: str, meta: bytes, streams: bytes) -> bytes:
 
 
 def _atomic_write(path, blob: bytes) -> None:
+    """Install ``blob`` at ``path`` so that a concurrent reader sees
+    either the old complete file or the new complete file, never a torn
+    mix: write to a pid-suffixed tmp (concurrent writers cannot collide
+    on it), fsync so the rename can never expose a partially-flushed
+    file after a crash, then ``os.replace`` (atomic on POSIX).  A
+    failed write removes its tmp so racing fleet workers do not litter
+    the store."""
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-    tmp.write_bytes(blob)
-    os.replace(tmp, path)
+    try:
+        with open(tmp, "wb") as f:
+            f.write(blob)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def _open_snapshot(

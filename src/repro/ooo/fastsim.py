@@ -219,6 +219,12 @@ class MemoStats:
     misses_new_key: int = 0
     misses_check: int = 0
     bytes_estimate: int = 0
+    #: Total bytes ever charged for recording (keys, events, checks,
+    #: recovery forks).  Never decremented by clears, evictions, or
+    #: pack/unpack re-accounting — the memoized-data *volume* Table 2
+    #: reports, mirroring ``CacheStats.bytes_cumulative`` on the facile
+    #: side so the two simulators' columns compare the same metric.
+    bytes_cumulative: int = 0
     packs: int = 0
     unpacks: int = 0
     clears: int = 0
@@ -392,6 +398,7 @@ class FastSimOoo:
         """Charge ``nbytes`` to the memo table and to ``root``'s entry,
         so eviction can refund the entry's exact accounted size."""
         self.mstats.bytes_estimate += nbytes
+        self.mstats.bytes_cumulative += nbytes
         root.nbytes += nbytes
         if self._gen_step:
             self._since_gen += nbytes

@@ -1,0 +1,32 @@
+"""Sharded simulation service and parallel benchmark fleet.
+
+The runtime substrate built by earlier PRs — flat-packed action caches,
+content-addressed mmap-shared snapshots, and a compiled C replay
+backend — is all per-process.  This package turns it into a service:
+
+* :mod:`~repro.serve.protocol` — job specs, shard keying, and the
+  newline-delimited JSON framing spoken over the wire;
+* :mod:`~repro.serve.worker` — a ``multiprocessing`` worker pool that
+  shards jobs by (program hash, sim config) so repeat jobs land on a
+  warm shard, requeues jobs lost to worker crashes (once), and kills
+  and reports jobs that exceed their deadline;
+* :mod:`~repro.serve.server` — the ``repro serve`` asyncio front end
+  accepting jobs over a local socket and streaming progress back;
+* :mod:`~repro.serve.client` — a small blocking client for scripts,
+  tests, and the CI smoke;
+* :mod:`~repro.serve.fleet` — the ``repro fleet`` fan-out/aggregate
+  harness that runs the whole (simulator × workload) benchmark grid
+  through the same pool and emits one machine-readable report.
+"""
+
+from .protocol import JobSpec, shard_index
+from .worker import WorkerPool
+from .fleet import FleetReport, run_fleet
+
+__all__ = [
+    "JobSpec",
+    "shard_index",
+    "WorkerPool",
+    "FleetReport",
+    "run_fleet",
+]

@@ -1,0 +1,141 @@
+"""Blocking client for the simulation service.
+
+Used by tests, the CI smoke, and scripts::
+
+    python -m repro.serve.client --port 7841 --workload compress --scale 1
+
+Connects, submits one job, prints every event as a JSON line, and
+exits 0 when the job's ``result`` arrives (1 on ``failed``/``error``).
+:class:`ServeClient` is the programmatic face: a tiny synchronous
+wrapper over the newline-JSON protocol that supports any number of
+interleaved jobs on one connection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+
+from .protocol import (
+    MAX_LINE_BYTES,
+    JobSpec,
+    ProtocolError,
+    encode_msg,
+    decode_msg,
+)
+
+
+class ServeClient:
+    """One connection to a running server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7841,
+                 timeout: float | None = 60.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self._buf = b""
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- requests ------------------------------------------------------------
+
+    def send(self, msg: dict) -> None:
+        self.sock.sendall(encode_msg(msg))
+
+    def recv_event(self) -> dict:
+        """Next event from the server (blocking; honours the socket
+        timeout)."""
+        while b"\n" not in self._buf:
+            if len(self._buf) > MAX_LINE_BYTES:
+                raise ProtocolError("oversized frame from server")
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self._buf += chunk
+        line, self._buf = self._buf.split(b"\n", 1)
+        return decode_msg(line)
+
+    def submit(self, spec: JobSpec) -> int:
+        """Submit a job; returns its server-assigned id."""
+        self.send({"op": "submit", "job": spec.to_json()})
+        event = self.recv_event()
+        if event.get("event") != "accepted":
+            raise ProtocolError(f"submit rejected: {event}")
+        return event["job"]
+
+    def ping(self) -> dict:
+        self.send({"op": "ping"})
+        return self.recv_event()
+
+    def stats(self) -> dict:
+        self.send({"op": "stats"})
+        return self.recv_event()
+
+    def shutdown(self) -> dict:
+        self.send({"op": "shutdown"})
+        return self.recv_event()
+
+    def wait(self, job_id: int, on_event=None) -> dict:
+        """Stream events until ``job_id`` resolves; returns its
+        terminal ``result``/``failed`` event."""
+        while True:
+            event = self.recv_event()
+            if on_event is not None:
+                on_event(event)
+            if event.get("job") == job_id and event.get("event") in (
+                "result", "failed"
+            ):
+                return event
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.client",
+        description="Submit one job to a running `repro serve` instance.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7841)
+    parser.add_argument("--workload", required=True)
+    parser.add_argument("--scale", type=int, default=None)
+    parser.add_argument("--simulator", default="facile")
+    parser.add_argument("--replay-backend", default="python",
+                        choices=["python", "c"])
+    parser.add_argument("--max-cycles", type=int, default=200_000_000)
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="client-side socket timeout (seconds)")
+    parser.add_argument("--shutdown", action="store_true",
+                        help="ask the server to shut down afterwards")
+    args = parser.parse_args(argv)
+
+    spec = JobSpec(
+        workload=args.workload,
+        scale=args.scale,
+        simulator=args.simulator,
+        replay_backend=args.replay_backend,
+        max_cycles=args.max_cycles,
+    )
+    spec.validate()
+    with ServeClient(args.host, args.port, timeout=args.timeout) as client:
+        job_id = client.submit(spec)
+        print(json.dumps({"event": "accepted", "job": job_id}), flush=True)
+        final = client.wait(
+            job_id,
+            on_event=lambda e: print(json.dumps(e), flush=True),
+        )
+        if args.shutdown:
+            client.shutdown()
+    return 0 if final.get("event") == "result" else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

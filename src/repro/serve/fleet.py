@@ -1,0 +1,322 @@
+"""Parallel benchmark fleet: the full grid through one worker pool.
+
+``repro fleet`` fans the (workload × simulator) benchmark grid out
+across the sharded :class:`~repro.serve.worker.WorkerPool` and folds
+everything back into one machine-readable report.  Because the pool
+shards by (program hash, sim config), repeat cells reuse a warm shard's
+content-addressed snapshot; because simulation is deterministic and
+warm replay is bit-exact (the PR-5/6 invariant), every parallel cell
+must report *identical* cycles and retired counts to a serial run — and
+``verify=True`` checks exactly that, cell by cell, against in-process
+serial goldens.  The serial pass doubles as the serial wall-clock
+baseline the speedup figure is measured against.
+
+A fleet run always produces a complete report: cells lost to worker
+crashes are requeued once by the pool, cells that crash again or time
+out appear with ``status: "failed"`` and a reason, and the harmonic
+mean is reported with its coverage ("over K/N cells") rather than
+silently shrinking its denominator.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+
+from ..bench.harness import SIMULATORS, harmonic_mean_coverage, measure
+from ..bench.reporting import render_generic
+from .protocol import JobSpec
+from .worker import WorkerPool
+
+#: Default simulator axis: every configuration the paper compares.
+FLEET_SIMULATORS = tuple(SIMULATORS)
+
+
+@dataclass
+class FleetCell:
+    """One grid cell's outcome."""
+
+    workload: str
+    simulator: str
+    scale: int
+    status: str = "pending"  # "ok" | "failed"
+    attempts: int = 0
+    requeues: int = 0
+    shard: int | None = None
+    seconds: float = 0.0
+    cycles: int = 0
+    retired: int = 0
+    kips: float = 0.0
+    snapshot_hit: bool = False
+    #: ``verify=True`` only: do parallel cycles/retired match the
+    #: serial golden bit-for-bit?  ``None`` = not checked (cell failed
+    #: or verification disabled).
+    parity: bool | None = None
+    serial_cycles: int = 0
+    serial_seconds: float = 0.0
+    reason: str = ""
+
+
+@dataclass
+class FleetReport:
+    cells: list[FleetCell]
+    workers: int
+    wall_seconds: float = 0.0
+    serial_seconds: float = 0.0
+    speedup: float = 0.0
+    hmean_kips: float = 0.0
+    hmean_used: int = 0
+    hmean_total: int = 0
+    verified: bool = False
+    cpu_count: int = 0
+    pool_stats: dict = field(default_factory=dict)
+
+    @property
+    def ok_cells(self) -> list[FleetCell]:
+        return [c for c in self.cells if c.status == "ok"]
+
+    @property
+    def failed_cells(self) -> list[FleetCell]:
+        return [c for c in self.cells if c.status != "ok"]
+
+    @property
+    def parity_ok(self) -> bool:
+        """True iff every verified cell matched its serial golden."""
+        checked = [c for c in self.cells if c.parity is not None]
+        return bool(checked) and all(c.parity for c in checked)
+
+    def to_json(self) -> dict:
+        return {
+            "bench": "fleet",
+            "issue": 8,
+            "version": 1,
+            "workers": self.workers,
+            "cpu_count": self.cpu_count,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "serial_seconds": round(self.serial_seconds, 4),
+            "speedup": round(self.speedup, 3),
+            "hmean_kips": round(self.hmean_kips, 2),
+            "hmean_used": self.hmean_used,
+            "hmean_total": self.hmean_total,
+            "verified": self.verified,
+            "parity_ok": self.parity_ok,
+            "ok": len(self.ok_cells),
+            "failed": len(self.failed_cells),
+            "pool": self.pool_stats,
+            "cells": [asdict(c) for c in self.cells],
+        }
+
+    def write(self, path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json(), indent=2) + "\n")
+        return path
+
+    def render_text(self) -> str:
+        rows = []
+        for c in self.cells:
+            rows.append([
+                c.workload,
+                c.simulator,
+                c.status,
+                f"{c.attempts}" + (f" (+{c.requeues} requeue)" if c.requeues else ""),
+                f"{c.seconds:.3f}" if c.status == "ok" else "-",
+                f"{c.cycles:,}" if c.status == "ok" else "-",
+                f"{c.kips:.1f}k" if c.status == "ok" else "-",
+                "warm" if c.snapshot_hit else "cold",
+                {True: "yes", False: "NO", None: "-"}[c.parity],
+            ])
+        label = (
+            "hmean" if self.hmean_used == self.hmean_total
+            else f"hmean {self.hmean_used}/{self.hmean_total}"
+        )
+        table = render_generic(
+            f"Fleet: {len(self.cells)} cells on {self.workers} workers",
+            ["benchmark", "simulator", "status", "attempts", "s",
+             "cycles", "kips", "snap", "parity"],
+            rows,
+        )
+        footer = [
+            "",
+            f"wall {self.wall_seconds:.2f}s"
+            + (
+                f" vs serial {self.serial_seconds:.2f}s "
+                f"({self.speedup:.2f}x)"
+                if self.verified else ""
+            ),
+            f"{label}: {self.hmean_kips:.1f} kips",
+        ]
+        if self.hmean_used < self.hmean_total:
+            footer.append(
+                f"({self.hmean_total - self.hmean_used} failed cells "
+                f"dropped from the harmonic mean)"
+            )
+        return table + "\n" + "\n".join(footer)
+
+
+def grid_cells(
+    workloads: list[str] | None = None,
+    simulators: list[str] | None = None,
+    scale: int | None = None,
+) -> list[FleetCell]:
+    """The benchmark grid as pending cells.  ``scale=None`` uses each
+    workload's ``test_scale`` (the tier-1 suite's sizes)."""
+    from ..workloads.suite import WORKLOADS
+
+    if workloads is None:
+        workloads = list(WORKLOADS)
+    if simulators is None:
+        simulators = list(FLEET_SIMULATORS)
+    cells = []
+    for w in workloads:
+        if w not in WORKLOADS:
+            raise ValueError(f"unknown workload {w!r}")
+        cell_scale = scale if scale is not None else WORKLOADS[w].test_scale
+        for sim in simulators:
+            if sim not in SIMULATORS:
+                raise ValueError(f"unknown simulator {sim!r}")
+            cells.append(FleetCell(workload=w, simulator=sim, scale=cell_scale))
+    return cells
+
+
+def run_fleet(
+    workloads: list[str] | None = None,
+    simulators: list[str] | None = None,
+    scale: int | None = None,
+    workers: int = 2,
+    cache_dir: str | None = None,
+    verify: bool = True,
+    timeout: float | None = None,
+    replay_backend: str = "python",
+    max_cycles: int = 200_000_000,
+    progress=None,
+    _sabotage: dict | None = None,
+) -> FleetReport:
+    """Run the grid through a worker pool and aggregate one report.
+
+    ``progress`` (optional) receives every pool event dict as it
+    happens.  ``_sabotage`` is a test hook: a ``{(workload, simulator):
+    crash}`` map copied onto the matching cells' job specs (see
+    :class:`~repro.serve.protocol.JobSpec.crash`).
+    """
+    cells = grid_cells(workloads, simulators, scale)
+    report = FleetReport(
+        cells=cells, workers=workers, cpu_count=os.cpu_count() or 1
+    )
+
+    owned_tmp = None
+    if cache_dir is None:
+        owned_tmp = tempfile.TemporaryDirectory(prefix="repro-fleet-")
+        cache_dir = owned_tmp.name
+    try:
+        _run_parallel(
+            report, cells, workers, cache_dir, timeout, replay_backend,
+            max_cycles, progress, _sabotage,
+        )
+    finally:
+        if owned_tmp is not None:
+            owned_tmp.cleanup()
+
+    kips = [c.kips if c.status == "ok" else 0.0 for c in cells]
+    report.hmean_kips, report.hmean_used, report.hmean_total = (
+        harmonic_mean_coverage(kips)
+    )
+
+    if verify:
+        _verify_serial(report, replay_backend, max_cycles)
+    return report
+
+
+def _run_parallel(
+    report, cells, workers, cache_dir, timeout, replay_backend,
+    max_cycles, progress, sabotage,
+) -> None:
+    t0 = time.perf_counter()
+    with WorkerPool(
+        workers=workers, cache_dir=cache_dir, job_timeout=timeout
+    ) as pool:
+        by_job: dict[int, FleetCell] = {}
+        for cell in cells:
+            spec = JobSpec(
+                workload=cell.workload,
+                scale=cell.scale,
+                simulator=cell.simulator,
+                max_cycles=max_cycles,
+                replay_backend=replay_backend,
+            )
+            if sabotage:
+                spec.crash = sabotage.get(
+                    (cell.workload, cell.simulator), ""
+                )
+            by_job[pool.submit(spec)] = cell
+        pending = set(by_job)
+        while pending:
+            event = pool.next_event(timeout=5.0)
+            if event is None:
+                continue
+            if progress is not None:
+                progress(event)
+            cell = by_job.get(event.get("job"))
+            if cell is None:
+                continue
+            kind = event["event"]
+            if kind == "started":
+                cell.attempts = event.get("attempt", cell.attempts + 1)
+                cell.shard = event.get("shard")
+            elif kind == "requeued":
+                cell.requeues += 1
+            elif kind == "result":
+                cell.status = "ok"
+                cell.seconds = event["seconds"]
+                cell.cycles = event["cycles"]
+                cell.retired = event["retired"]
+                cell.kips = event["kips"]
+                cell.snapshot_hit = event.get("snapshot_hit", False)
+                pending.discard(event["job"])
+            elif kind == "failed":
+                cell.status = "failed"
+                cell.reason = event.get("reason", "")
+                pending.discard(event["job"])
+        report.pool_stats = pool.stats_dict()
+    report.wall_seconds = time.perf_counter() - t0
+
+
+def _verify_serial(report, replay_backend, max_cycles) -> None:
+    """Serial golden pass: re-run every ok cell in-process (cold, no
+    shared store) and demand bit-identical cycles/retired.  Its total
+    time is the serial wall-clock baseline for the speedup figure."""
+    from ..workloads.suite import build_cached
+
+    report.verified = True
+    serial_total = 0.0
+    for cell in report.cells:
+        if cell.status != "ok":
+            continue
+        program = build_cached(cell.workload, cell.scale)
+        t0 = time.perf_counter()
+        golden = measure(
+            cell.simulator,
+            program,
+            workload_name=cell.workload,
+            max_cycles=max_cycles,
+            replay_backend=replay_backend,
+        )
+        cell.serial_seconds = time.perf_counter() - t0
+        serial_total += cell.serial_seconds
+        cell.serial_cycles = golden.cycles
+        cell.parity = (
+            golden.cycles == cell.cycles and golden.retired == cell.retired
+        )
+        if not cell.parity:
+            cell.reason = (
+                f"parity mismatch: parallel cycles={cell.cycles:,} "
+                f"retired={cell.retired:,} vs serial "
+                f"cycles={golden.cycles:,} retired={golden.retired:,}"
+            )
+    report.serial_seconds = serial_total
+    if report.wall_seconds > 0:
+        report.speedup = serial_total / report.wall_seconds

@@ -1,0 +1,173 @@
+"""Job specs, shard keying, and wire framing for the simulation service.
+
+The service speaks newline-delimited JSON over a local stream socket:
+every message is one JSON object on one line.  Requests carry an
+``"op"`` ("submit", "ping", "stats", "shutdown"); everything the server
+sends back carries an ``"event"`` ("accepted", "started", "progress",
+"result", "failed", "requeued", "error", "pong", "stats", "bye").
+Events for a job always include its ``"job"`` id, so one connection can
+interleave many in-flight jobs.
+
+Shard keying
+------------
+
+Jobs are sharded by ``(program hash, sim config)``: two jobs that would
+replay from the same content-addressed snapshot land on the same worker
+shard.  The first run of a (program × config) pair records and saves
+the snapshot; every later job on that shard mmaps it back and replays
+warm, and the worker process's own in-memory caches (built programs,
+compiled simulators) stay hot too.  The key deliberately excludes
+anything that does not change the snapshot content address (timeouts,
+test hooks).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+from ..bench.harness import SIMULATORS
+
+#: Cap on one framed message.  Jobs and results are tiny; anything
+#: bigger is a protocol error (or an attack on a local socket).
+MAX_LINE_BYTES = 1 << 20
+
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(Exception):
+    """A malformed frame or an invalid job specification."""
+
+
+@dataclass
+class JobSpec:
+    """One simulation job: program × workload × sim config × backend.
+
+    The program is named either by a suite ``workload`` (built
+    deterministically from its name and ``scale``) or by raw SPARC-lite
+    ``asm`` source text; exactly one must be given.
+    """
+
+    workload: str | None = None
+    scale: int | None = None
+    asm: str | None = None
+    simulator: str = "facile"
+    max_cycles: int = 200_000_000
+    cache_limit_bytes: int | None = None
+    cache_evict: str = "clear"
+    trace_jit: bool = True
+    flat_pack: bool = True
+    replay_backend: str = "python"
+    #: Per-job wall-clock deadline; ``None`` inherits the pool default.
+    timeout_s: float | None = None
+    #: Assigned by the pool/server at submit time.
+    job_id: int = 0
+    #: Test hooks (documented, never set by real clients): "always"
+    #: makes the worker die with os._exit after reporting the job
+    #: started — every attempt crashes, so the job exhausts its requeue
+    #: budget; a path makes the worker crash only if the file exists,
+    #: consuming it first — the retry then succeeds.
+    crash: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if (self.workload is None) == (self.asm is None):
+            raise ProtocolError("exactly one of workload/asm is required")
+        if self.simulator not in SIMULATORS:
+            raise ProtocolError(
+                f"unknown simulator {self.simulator!r} "
+                f"(expected one of {', '.join(SIMULATORS)})"
+            )
+        if self.workload is not None:
+            from ..workloads.suite import WORKLOADS
+
+            if self.workload not in WORKLOADS:
+                raise ProtocolError(f"unknown workload {self.workload!r}")
+        if self.replay_backend not in ("python", "c"):
+            raise ProtocolError(
+                f"unknown replay backend {self.replay_backend!r}"
+            )
+        if self.cache_evict not in ("clear", "generational"):
+            raise ProtocolError(
+                f"unknown eviction policy {self.cache_evict!r}"
+            )
+        if self.max_cycles <= 0:
+            raise ProtocolError("max_cycles must be positive")
+
+    # -- shard keying --------------------------------------------------------
+
+    def program_key(self) -> str:
+        """Stable identity of the simulated program (cheap proxy for
+        the snapshot store's program fingerprint: equal keys imply
+        equal fingerprints)."""
+        if self.workload is not None:
+            return f"workload:{self.workload}:{self.scale}"
+        digest = hashlib.sha256(self.asm.encode()).hexdigest()[:16]
+        return f"asm:{digest}"
+
+    def config_key(self) -> tuple:
+        """The sim-config half of the shard key — everything that
+        selects which content-addressed snapshot a run touches."""
+        return (
+            self.simulator,
+            self.cache_limit_bytes,
+            self.cache_evict,
+            self.trace_jit,
+            self.flat_pack,
+            self.replay_backend,
+        )
+
+    def shard_key(self) -> str:
+        return f"{self.program_key()}|{self.config_key()!r}"
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "JobSpec":
+        if not isinstance(data, dict):
+            raise ProtocolError("job spec must be a JSON object")
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ProtocolError(
+                f"unknown job fields: {', '.join(sorted(unknown))}"
+            )
+        spec = cls(**data)
+        spec.validate()
+        return spec
+
+
+def shard_index(spec: JobSpec, n_shards: int) -> int:
+    """Deterministic shard for a job: same (program hash, config) →
+    same shard, independent of submission order or process."""
+    digest = hashlib.sha256(spec.shard_key().encode()).digest()
+    return int.from_bytes(digest[:8], "big") % max(1, n_shards)
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+def encode_msg(msg: dict) -> bytes:
+    """One message → one JSON line (the trailing newline is the frame
+    delimiter)."""
+    line = json.dumps(msg, separators=(",", ":")) + "\n"
+    raw = line.encode("utf-8")
+    if len(raw) > MAX_LINE_BYTES:
+        raise ProtocolError(f"message too large ({len(raw)} bytes)")
+    return raw
+
+
+def decode_msg(line: bytes) -> dict:
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"frame too large ({len(line)} bytes)")
+    try:
+        msg = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad frame: {exc}") from None
+    if not isinstance(msg, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return msg

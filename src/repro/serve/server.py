@@ -1,0 +1,288 @@
+"""The ``repro serve`` asyncio front end.
+
+A thin local service over :class:`~repro.serve.worker.WorkerPool`:
+clients connect to a TCP socket on localhost, send newline-delimited
+JSON requests (see :mod:`~repro.serve.protocol`), and receive a stream
+of events as their jobs move through the pool.  One connection can
+hold any number of in-flight jobs; every event names its job id.
+
+Requests::
+
+    {"op": "submit", "job": {...JobSpec fields...}}
+    {"op": "ping"}
+    {"op": "stats"}
+    {"op": "shutdown"}
+
+The server replies to a submit with ``{"event": "accepted", "job": id,
+"shard": s}`` and then streams that job's ``started`` / ``progress`` /
+``requeued`` / ``result`` / ``failed`` events to the submitting
+connection as the pool emits them.  Events for jobs whose connection
+has gone away are dropped — the jobs themselves keep running (their
+snapshots stay warm for the next client).
+
+The pool API is synchronous, so the server bridges it with a single
+pump task that polls :meth:`WorkerPool.next_event` in the default
+executor and routes events onto the owning connection's writer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    JobSpec,
+    ProtocolError,
+    encode_msg,
+    decode_msg,
+)
+from .worker import WorkerPool
+
+#: Events that end a job's stream (its routing entry is dropped).
+_TERMINAL = ("result", "failed")
+
+
+class SimulationServer:
+    """Asyncio server wrapping one worker pool.  Use ``await start()``
+    then ``await wait_closed()``; or :class:`ServerThread` from
+    synchronous code."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        cache_dir: str | None = None,
+        job_timeout: float | None = None,
+    ):
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self.job_timeout = job_timeout
+        self.pool: WorkerPool | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._pump: asyncio.Task | None = None
+        self._owners: dict[int, asyncio.StreamWriter] = {}
+        self._shutdown = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self.pool = WorkerPool(
+            workers=self.workers,
+            cache_dir=self.cache_dir,
+            job_timeout=self.job_timeout,
+        )
+        self.pool.start()
+        self._server = await asyncio.start_server(
+            self._handle_conn,
+            self.host,
+            self.port,
+            limit=MAX_LINE_BYTES + 2,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._pump = asyncio.create_task(self._pump_events())
+
+    async def wait_closed(self) -> None:
+        """Block until a client sends ``shutdown`` (or :meth:`stop`)."""
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        self._shutdown.set()
+        if self._pump is not None:
+            self._pump.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._pump
+            self._pump = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self.pool is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.pool.close
+            )
+            self.pool = None
+
+    # -- event pump ----------------------------------------------------------
+
+    async def _pump_events(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            event = await loop.run_in_executor(
+                None, self.pool.next_event, 0.2
+            )
+            if event is None:
+                continue
+            job_id = event.get("job")
+            writer = self._owners.get(job_id)
+            if event["event"] in _TERMINAL:
+                self._owners.pop(job_id, None)
+            if writer is None or writer.is_closing():
+                continue
+            try:
+                writer.write(encode_msg(event))
+                await writer.drain()
+            except (ConnectionError, ProtocolError):
+                pass
+
+    # -- per-connection handler ----------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(encode_msg(
+                        {"event": "error", "reason": "frame too large"}
+                    ))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                reply = self._handle_msg(line, writer)
+                if reply is not None:
+                    writer.write(encode_msg(reply))
+                    await writer.drain()
+                if self._shutdown.is_set():
+                    break
+        except ConnectionError:
+            pass
+        finally:
+            # Routing only: the connection's jobs keep running.
+            stale = [j for j, w in self._owners.items() if w is writer]
+            for j in stale:
+                self._owners.pop(j, None)
+            with contextlib.suppress(ConnectionError):
+                writer.close()
+
+    def _handle_msg(self, line: bytes, writer) -> dict | None:
+        try:
+            msg = decode_msg(line)
+        except ProtocolError as exc:
+            return {"event": "error", "reason": str(exc)}
+        op = msg.get("op")
+        if op == "submit":
+            try:
+                spec = JobSpec.from_json(msg.get("job", {}))
+                job_id = self.pool.submit(spec)
+            except (ProtocolError, TypeError) as exc:
+                return {"event": "error", "reason": str(exc)}
+            self._owners[job_id] = writer
+            from .protocol import shard_index
+
+            return {
+                "event": "accepted",
+                "job": job_id,
+                "shard": shard_index(spec, self.pool.workers),
+            }
+        if op == "ping":
+            return {"event": "pong", "version": PROTOCOL_VERSION}
+        if op == "stats":
+            return {"event": "stats", **self.pool.stats_dict()}
+        if op == "shutdown":
+            self._shutdown.set()
+            return {"event": "bye"}
+        return {"event": "error", "reason": f"unknown op {op!r}"}
+
+
+async def _amain(server: SimulationServer, on_started=None) -> None:
+    await server.start()
+    if on_started is not None:
+        on_started(server)
+    await server.wait_closed()
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 7841,
+    workers: int = 2,
+    cache_dir: str | None = None,
+    job_timeout: float | None = None,
+) -> None:
+    """Blocking entry point for ``repro serve``: serve until a client
+    sends ``shutdown`` or the process is interrupted."""
+    server = SimulationServer(
+        host=host, port=port, workers=workers,
+        cache_dir=cache_dir, job_timeout=job_timeout,
+    )
+
+    def _announce(s: SimulationServer) -> None:
+        print(
+            f"repro serve: listening on {s.host}:{s.port} "
+            f"({s.workers} workers, cache_dir={s.cache_dir})",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(_amain(server, _announce))
+    except KeyboardInterrupt:
+        pass
+
+
+class ServerThread:
+    """Run a :class:`SimulationServer` on a background thread — the
+    bridge tests and synchronous tooling use.
+
+    ::
+
+        with ServerThread(workers=2) as srv:
+            ...connect to ("127.0.0.1", srv.port)...
+    """
+
+    def __init__(self, **kwargs):
+        self._kwargs = kwargs
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: SimulationServer | None = None
+        self.host = kwargs.get("host", "127.0.0.1")
+        self.port = 0
+        self.error: BaseException | None = None
+
+    def start(self, timeout: float = 30.0) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name="repro-serve"
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("server did not start in time")
+        if self.error is not None:
+            raise RuntimeError(f"server failed to start: {self.error!r}")
+        return self
+
+    def _run(self) -> None:
+        server = SimulationServer(**{"port": 0, **self._kwargs})
+
+        def _on_started(s: SimulationServer) -> None:
+            self._server = s
+            self._loop = asyncio.get_running_loop()
+            self.port = s.port
+            self._started.set()
+
+        try:
+            asyncio.run(_amain(server, _on_started))
+        except BaseException as exc:  # surfaced by start()/stop()
+            self.error = exc
+            self._started.set()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        loop, server = self._loop, self._server
+        if loop is not None and server is not None and loop.is_running():
+            loop.call_soon_threadsafe(server._shutdown.set)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

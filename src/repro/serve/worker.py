@@ -1,0 +1,545 @@
+"""Sharded ``multiprocessing`` worker pool for simulation jobs.
+
+Each shard is one long-lived worker process with its own job pipe.
+The parent dispatches at most one job to a shard at a time (the rest
+wait in a parent-side deque), so it always knows exactly which job a
+worker holds — the invariant every failure path below leans on:
+
+* **worker crash** — the shard's in-flight job is requeued on the
+  respawned worker, at most ``max_retries`` times; after that it is
+  reported failed.  Jobs still waiting in the parent-side deque are
+  untouched (they were never handed over).
+* **timeout** — a job past its deadline gets its worker killed
+  (``SIGKILL``) and is reported failed immediately; timeouts are not
+  retried (a deterministic simulation that blew its budget once will
+  blow it again).  The shard is respawned and moves on.
+* **job error** — a Python exception inside the worker (bad spec,
+  simulation error) is caught there and reported; the worker survives
+  and the job is not retried.
+
+Workers run jobs through :func:`repro.bench.harness.measure` with the
+pool's shared ``cache_dir``, so the first job of a (program × config)
+pair records and saves the content-addressed snapshot and every later
+job — routed to the same shard by :func:`~repro.serve.protocol.shard_index`
+— mmaps it back and replays warm.
+
+Two isolation decisions matter for fleet safety:
+
+* The ``spawn`` start method: workers come from a clean interpreter,
+  never forked from a parent that may already be running event-loop or
+  queue-feeder threads (``fork`` + threads is a latent deadlock).
+* Per-shard **pipes**, not a shared ``mp.Queue``: a queue's put lock is
+  shared across writer processes, so SIGKILLing a worker mid-``put``
+  (exactly what the timeout path does) can leave the lock held and
+  deadlock every other worker.  Each pipe has a single writer and both
+  ends are recreated when a shard respawns, so a killed worker can at
+  worst tear its own last frame — which the parent discards.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection as mp_connection
+import os
+import threading
+import time
+import traceback
+from collections import deque
+from dataclasses import asdict, dataclass, field
+
+from .protocol import JobSpec, shard_index
+
+#: Seconds between worker heartbeat progress events while a job runs.
+PROGRESS_INTERVAL = 0.5
+
+#: Grace added to a job's deadline for queue/startup latency.
+TIMEOUT_GRACE = 2.0
+
+
+# ---------------------------------------------------------------------------
+# Worker side (runs in the child process)
+# ---------------------------------------------------------------------------
+
+
+def _execute(spec: JobSpec, cache_dir: str | None) -> dict:
+    """Run one job to completion and return its result payload."""
+    from ..bench.harness import measure
+    from ..isa.assembler import assemble
+    from ..workloads.suite import build_cached
+
+    if spec.workload is not None:
+        program = build_cached(spec.workload, spec.scale)
+        name = spec.workload
+    else:
+        program = assemble(spec.asm)
+        name = "asm"
+    t0 = time.perf_counter()
+    m = measure(
+        spec.simulator,
+        program,
+        workload_name=name,
+        cache_limit_bytes=spec.cache_limit_bytes,
+        cache_evict=spec.cache_evict,
+        max_cycles=spec.max_cycles,
+        trace_jit=spec.trace_jit,
+        flat_pack=spec.flat_pack,
+        cache_dir=cache_dir,
+        replay_backend=spec.replay_backend,
+    )
+    return {
+        "measurement": asdict(m),
+        "seconds": time.perf_counter() - t0,
+        "cycles": m.cycles,
+        "retired": m.retired,
+        "kips": m.kips,
+        "snapshot_hit": bool(m.extra.get("snapshot_hit")),
+    }
+
+
+def _maybe_crash(spec: JobSpec) -> None:
+    """Honour the documented test hooks (see :class:`JobSpec.crash`)."""
+    if not spec.crash:
+        return
+    if spec.crash == "always":
+        os._exit(3)
+    try:
+        os.unlink(spec.crash)
+    except FileNotFoundError:
+        return  # flag already consumed: this attempt runs normally
+    except OSError:
+        return
+    os._exit(3)
+
+
+def worker_main(
+    shard: int,
+    job_conn,
+    event_conn,
+    cache_dir: str | None,
+    progress_interval: float = PROGRESS_INTERVAL,
+) -> None:
+    """Worker process main loop: one job at a time until the ``None``
+    sentinel (or EOF).  Emits ``(kind, job_id, payload)`` tuples on
+    ``event_conn``."""
+    pid = os.getpid()
+    send_lock = threading.Lock()  # main + heartbeat threads both send
+
+    def emit(kind: str, job_id: int, payload: dict) -> None:
+        with send_lock:
+            try:
+                event_conn.send((kind, job_id, payload))
+            except (BrokenPipeError, OSError):
+                pass  # parent is gone; nothing useful left to do
+
+    while True:
+        try:
+            item = job_conn.recv()
+        except (EOFError, OSError):
+            return
+        if item is None:
+            return
+        spec = JobSpec(**item)
+        job_id = spec.job_id
+        emit("started", job_id, {"shard": shard, "pid": pid})
+        _maybe_crash(spec)
+        # Heartbeat thread: streams coarse progress while the
+        # simulation runs so clients see a live job, not a silent gap.
+        done = threading.Event()
+        t0 = time.perf_counter()
+
+        def _heartbeat() -> None:
+            while not done.wait(progress_interval):
+                emit("progress", job_id,
+                     {"shard": shard,
+                      "elapsed_s": round(time.perf_counter() - t0, 3)})
+
+        beat = threading.Thread(target=_heartbeat, daemon=True)
+        beat.start()
+        try:
+            payload = _execute(spec, cache_dir)
+        except Exception:
+            done.set()
+            beat.join()
+            emit("error", job_id,
+                 {"shard": shard,
+                  "reason": traceback.format_exc(limit=8)})
+            continue
+        done.set()
+        beat.join()
+        payload["shard"] = shard
+        emit("result", job_id, payload)
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _JobState:
+    spec: JobSpec
+    shard: int
+    attempts: int = 0
+    dispatched_at: float = 0.0
+    started_at: float | None = None
+
+    def deadline(self, default_timeout: float | None) -> float | None:
+        timeout = (
+            self.spec.timeout_s
+            if self.spec.timeout_s is not None
+            else default_timeout
+        )
+        if timeout is None:
+            return None
+        base = self.started_at if self.started_at is not None else (
+            self.dispatched_at + TIMEOUT_GRACE
+        )
+        return base + timeout
+
+
+class _Shard:
+    def __init__(self, index: int):
+        self.index = index
+        self.process = None
+        self.job_w = None  # parent -> worker job pipe (write end)
+        self.event_r = None  # worker -> parent event pipe (read end)
+        self.current: int | None = None  # in-flight job id
+        self.pending: deque[int] = deque()  # job ids waiting, in order
+        self.dispatched = 0
+        self.respawns = 0
+
+    def close_pipes(self) -> None:
+        for conn in (self.job_w, self.event_r):
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        self.job_w = self.event_r = None
+
+
+@dataclass
+class PoolStats:
+    submitted: int = 0
+    done: int = 0
+    failed: int = 0
+    errors: int = 0
+    requeued: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    shard_dispatched: list = field(default_factory=list)
+
+
+class WorkerPool:
+    """Sharded worker pool; see the module docstring for semantics.
+
+    Synchronous API — :class:`~repro.serve.server.SimulationServer`
+    bridges it onto asyncio, :func:`~repro.serve.fleet.run_fleet`
+    drives it directly.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        cache_dir: str | None = None,
+        max_retries: int = 1,
+        job_timeout: float | None = None,
+        progress_interval: float = PROGRESS_INTERVAL,
+        start_method: str = "spawn",
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.max_retries = max_retries
+        self.job_timeout = job_timeout
+        self.progress_interval = progress_interval
+        self._ctx = multiprocessing.get_context(start_method)
+        # Guards shard/job bookkeeping: the server submits from the
+        # event-loop thread while next_event() runs in an executor.
+        self._lock = threading.RLock()
+        self._shards: list[_Shard] = []
+        self._jobs: dict[int, _JobState] = {}
+        self._finished: set[int] = set()
+        self._next_id = 1
+        self._started = False
+        self._closed = False
+        self.stats = PoolStats(shard_dispatched=[0] * workers)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("pool already started")
+        self._shards = [_Shard(i) for i in range(self.workers)]
+        for shard in self._shards:
+            self._spawn(shard)
+        self._started = True
+
+    def _spawn(self, shard: _Shard) -> None:
+        shard.close_pipes()
+        job_r, job_w = self._ctx.Pipe(duplex=False)
+        event_r, event_w = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(shard.index, job_r, event_w,
+                  self.cache_dir, self.progress_interval),
+            daemon=True,
+            name=f"repro-serve-worker-{shard.index}",
+        )
+        proc.start()
+        # The child inherited its ends; drop the parent's copies so
+        # each pipe has exactly one writer and one reader.
+        job_r.close()
+        event_w.close()
+        shard.process = proc
+        shard.job_w = job_w
+        shard.event_r = event_r
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Shut the pool down: sentinel every worker, join with a
+        deadline, kill stragglers.  Idempotent."""
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        self._closed = True
+        for shard in self._shards:
+            try:
+                shard.job_w.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + timeout
+        for shard in self._shards:
+            proc = shard.process
+            if proc is None:
+                continue
+            proc.join(max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.kill()
+                proc.join(1.0)
+            shard.close_pipes()
+
+    def __enter__(self) -> "WorkerPool":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def pids(self) -> list[int]:
+        return [
+            s.process.pid for s in self._shards if s.process is not None
+        ]
+
+    # -- submission and dispatch ---------------------------------------------
+
+    def submit(self, spec: JobSpec) -> int:
+        """Queue a job; returns its id.  Events for it flow out of
+        :meth:`next_event`."""
+        if not self._started:
+            raise RuntimeError("pool not started")
+        if self._closed:
+            raise RuntimeError("pool closed")
+        spec.validate()
+        with self._lock:
+            job_id = self._next_id
+            self._next_id += 1
+            spec.job_id = job_id
+            shard_i = shard_index(spec, self.workers)
+            self._jobs[job_id] = _JobState(spec=spec, shard=shard_i)
+            shard = self._shards[shard_i]
+            shard.pending.append(job_id)
+            self.stats.submitted += 1
+            self._dispatch(shard)
+        return job_id
+
+    def _dispatch(self, shard: _Shard) -> None:
+        """Hand the shard its next job iff it is idle — the one-at-a-
+        time invariant that makes crash accounting exact."""
+        if shard.current is not None or not shard.pending:
+            return
+        job_id = shard.pending.popleft()
+        state = self._jobs[job_id]
+        state.dispatched_at = time.monotonic()
+        state.started_at = None
+        # The attempt is counted here, not at the worker's "started"
+        # event: a worker that dies before reporting in must still
+        # burn the job's requeue budget, or it would requeue forever.
+        state.attempts += 1
+        shard.current = job_id
+        shard.dispatched += 1
+        self.stats.shard_dispatched[shard.index] += 1
+        try:
+            shard.job_w.send(state.spec.to_json())
+        except (BrokenPipeError, OSError):
+            pass  # worker is dead; _reap() will requeue or fail the job
+
+    @property
+    def outstanding(self) -> int:
+        """Jobs submitted but not yet resolved (result/failed)."""
+        return len(self._jobs)
+
+    # -- event loop ----------------------------------------------------------
+
+    def next_event(self, timeout: float | None = 1.0) -> dict | None:
+        """Return the next event, or ``None`` if ``timeout`` elapses.
+
+        Events are dicts: ``{"event": "started"|"progress"|"result"|
+        "error"|"failed"|"requeued", "job": id, ...}``.  Pipe events
+        are drained before crash/timeout reaping so a result that
+        raced a crash is never double-reported.
+        """
+        if not self._started:
+            raise RuntimeError("pool not started")
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while True:
+            conns = [
+                s.event_r for s in self._shards if s.event_r is not None
+            ]
+            for conn in mp_connection.wait(conns, timeout=0.05):
+                try:
+                    kind, job_id, payload = conn.recv()
+                except (EOFError, OSError):
+                    continue  # torn frame from a dying worker: drop it
+                with self._lock:
+                    event = self._bookkeep(kind, job_id, payload)
+                if event is not None:
+                    return event
+            with self._lock:
+                reaped = self._reap()
+            if reaped is not None:
+                return reaped
+            if deadline is not None and time.monotonic() >= deadline:
+                return None
+
+    def _bookkeep(self, kind: str, job_id: int, payload: dict) -> dict | None:
+        """Update job state for one worker event; returns the event to
+        surface, or ``None`` to swallow it (stale duplicate)."""
+        if job_id in self._finished or job_id not in self._jobs:
+            return None
+        state = self._jobs[job_id]
+        event = {"event": kind, "job": job_id, **payload}
+        if kind == "started":
+            state.started_at = time.monotonic()
+            event["attempt"] = state.attempts
+        elif kind == "result":
+            self._resolve(job_id)
+            self.stats.done += 1
+        elif kind == "error":
+            self._resolve(job_id)
+            self.stats.errors += 1
+            self.stats.failed += 1
+            event = {"event": "failed", "job": job_id,
+                     "reason": payload.get("reason", "worker error"),
+                     "kind": "error", "shard": payload.get("shard")}
+        return event
+
+    def _resolve(self, job_id: int) -> None:
+        state = self._jobs.pop(job_id)
+        self._finished.add(job_id)
+        shard = self._shards[state.shard]
+        if shard.current == job_id:
+            shard.current = None
+        else:  # resolved while waiting (shouldn't happen, but be safe)
+            try:
+                shard.pending.remove(job_id)
+            except ValueError:
+                pass
+        self._dispatch(shard)
+
+    def _reap(self) -> dict | None:
+        """Handle crashed workers and overdue jobs; returns at most one
+        synthesized event per call (callers loop)."""
+        now = time.monotonic()
+        for shard in self._shards:
+            proc = shard.process
+            if proc is not None and not proc.is_alive():
+                return self._handle_crash(shard)
+            job_id = shard.current
+            if job_id is None:
+                continue
+            state = self._jobs.get(job_id)
+            if state is None:  # resolved this tick
+                continue
+            deadline = state.deadline(self.job_timeout)
+            if deadline is not None and now > deadline:
+                return self._handle_timeout(shard, state)
+        return None
+
+    def _handle_crash(self, shard: _Shard) -> dict | None:
+        """A worker died under a job: respawn the shard, requeue the
+        lost job (bounded), or report it failed."""
+        self.stats.crashes += 1
+        exitcode = shard.process.exitcode
+        shard.process.join(0.1)
+        shard.respawns += 1
+        job_id = shard.current
+        shard.current = None
+        self._spawn(shard)
+        if job_id is None:
+            self._dispatch(shard)
+            return None
+        state = self._jobs[job_id]
+        if state.attempts <= self.max_retries:
+            # Requeue at the front: the job keeps its place in line.
+            shard.pending.appendleft(job_id)
+            self.stats.requeued += 1
+            self._dispatch(shard)
+            return {
+                "event": "requeued", "job": job_id, "shard": shard.index,
+                "attempt": state.attempts,
+                "reason": f"worker crashed (exit {exitcode})",
+            }
+        self._jobs.pop(job_id)
+        self._finished.add(job_id)
+        self.stats.failed += 1
+        self._dispatch(shard)
+        return {
+            "event": "failed", "job": job_id, "shard": shard.index,
+            "kind": "crash",
+            "reason": (
+                f"worker crashed (exit {exitcode}) and the job already "
+                f"used its {self.max_retries} requeue(s)"
+            ),
+        }
+
+    def _handle_timeout(self, shard: _Shard, state: _JobState) -> dict:
+        """Kill a worker stuck past its job's deadline and report the
+        job failed (timeouts are deterministic; no requeue)."""
+        self.stats.timeouts += 1
+        proc = shard.process
+        if proc is not None and proc.is_alive():
+            proc.kill()
+            proc.join(2.0)
+        shard.respawns += 1
+        job_id = state.spec.job_id
+        shard.current = None
+        self._spawn(shard)
+        self._jobs.pop(job_id, None)
+        self._finished.add(job_id)
+        self.stats.failed += 1
+        self._dispatch(shard)
+        return {
+            "event": "failed", "job": job_id, "shard": shard.index,
+            "kind": "timeout",
+            "reason": (
+                f"timed out after "
+                f"{state.spec.timeout_s or self.job_timeout}s; "
+                f"worker killed"
+            ),
+        }
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "outstanding": self.outstanding,
+            **asdict(self.stats),
+            "shard_respawns": [s.respawns for s in self._shards],
+            "cache_dir": self.cache_dir,
+        }

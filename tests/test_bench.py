@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.bench.harness import SIMULATORS, Measurement, harmonic_mean, measure
+from repro.bench.harness import (
+    SIMULATORS,
+    Measurement,
+    harmonic_mean,
+    harmonic_mean_coverage,
+    measure,
+)
 from repro.bench.reporting import (
     render_generic,
     render_speed_figure,
@@ -37,6 +43,19 @@ class TestHarmonicMean:
 
     def test_empty(self):
         assert harmonic_mean([]) == 0.0
+
+    def test_coverage_counts_dropped_cells(self):
+        hmean, used, total = harmonic_mean_coverage([2.0, 0.0, 6.0, -1.0])
+        assert abs(hmean - 3.0) < 1e-12
+        assert used == 2
+        assert total == 4
+
+    def test_coverage_full(self):
+        hmean, used, total = harmonic_mean_coverage([1.0, 1.0])
+        assert (hmean, used, total) == (1.0, 2, 2)
+
+    def test_coverage_all_dropped(self):
+        assert harmonic_mean_coverage([0.0, 0.0]) == (0.0, 0, 2)
 
 
 class TestMeasure:
@@ -73,6 +92,27 @@ class TestMeasure:
     def test_cache_limit_forwarded(self, program):
         m = measure("facile", program, "li", cache_limit_bytes=50_000)
         assert m.memo_clears > 0
+
+    def test_memo_bytes_is_cumulative_on_both_paths(self, program):
+        """Both memoizing simulators report the same metric for
+        ``memo_bytes``: cumulative recording volume, not the resident
+        size at run end (the fastsim path used to report the latter)."""
+        for simulator in ("fastsim", "facile"):
+            m = measure(simulator, program, "li")
+            assert m.memo_bytes == m.memo_bytes_cumulative
+            assert m.memo_bytes_current > 0
+            # With no eviction, resident never exceeds what was recorded.
+            assert m.memo_bytes_cumulative >= m.memo_bytes_current
+
+    def test_cumulative_survives_clears(self, program):
+        """A budget-bound run clears its cache; the cumulative figure
+        keeps counting recording volume while the resident figure drops,
+        so the two must diverge — on both memoizing paths."""
+        for simulator in ("fastsim", "facile"):
+            m = measure(simulator, program, "li", cache_limit_bytes=50_000)
+            assert m.memo_clears > 0
+            assert m.memo_bytes_cumulative > m.memo_bytes_current
+            assert m.memo_bytes == m.memo_bytes_cumulative
 
 
 class TestRendering:
@@ -113,3 +153,27 @@ class TestRendering:
     def test_generic_empty_rows(self):
         text = render_generic("T", ["col"], [])
         assert "col" in text
+
+    def test_speed_figure_full_coverage_plain_hmean(self):
+        text = render_speed_figure(self._rows(), "facile", "facile-nomemo", "Fig")
+        assert "hmean" in text
+        assert "hmean 2/2" not in text  # full coverage: plain label
+        assert "dropped" not in text
+
+    def test_speed_figure_surfaces_dropped_cells(self):
+        """A missing cell must not silently inflate the hmean: the
+        label becomes "hmean K/N" and a coverage note is appended."""
+        rows = [m for m in self._rows()
+                if not (m.workload == "beta" and m.simulator == "facile")]
+        text = render_speed_figure(rows, "facile", "facile-nomemo", "Fig")
+        assert "hmean 1/2" in text
+        assert "1 failed or missing cells were dropped" in text
+        assert "missing cell" in text
+
+    def test_speed_figure_zero_cell_counted_as_dropped(self):
+        rows = self._rows()
+        for m in rows:
+            if m.workload == "beta" and m.simulator == "simplescalar":
+                m.seconds = 0.0  # kips == 0 → ratio 0 → dropped
+        text = render_speed_figure(rows, "facile", "facile-nomemo", "Fig")
+        assert "hmean 1/2" in text

@@ -333,3 +333,60 @@ def test_fastsim_cycle_ir_vocabulary():
                 assert k == K_VERIFY_TAB and isinstance(s, dict)
         checked += 1
     assert checked > 0
+
+
+# ---------------------------------------------------------------------------
+# Disk-cache build lock (fleet cold-start herd)
+# ---------------------------------------------------------------------------
+
+
+def _herd_build_main(cache_dir: str, out_path: str) -> None:
+    """Spawn target: build the kernel into an overridden cache dir."""
+    import json
+    import os
+
+    os.environ["FACILE_CKERNEL_DIR"] = cache_dir
+    from repro.facile.cbackend import _reset_kernel_for_tests, load_kernel
+
+    _reset_kernel_for_tests()
+    kernel = load_kernel()
+    json.dump(
+        {
+            "available": kernel.status.available,
+            "reason": kernel.status.reason,
+            "path": kernel.status.path,
+        },
+        open(out_path, "w"),
+    )
+
+
+@requires_cc
+@pytest.mark.slow
+def test_concurrent_cold_start_builds_one_kernel(tmp_path):
+    """N processes cold-starting on an empty kernel cache must all end
+    up with a working kernel and exactly one installed .so — the flock
+    serializes the compile; losers wait then dlopen the winner's file.
+    """
+    import json
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("spawn")
+    cache_dir = tmp_path / "kcache"
+    outs = [tmp_path / f"out{i}.json" for i in range(3)]
+    procs = [
+        ctx.Process(target=_herd_build_main, args=(str(cache_dir), str(out)))
+        for out in outs
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(300)
+        assert p.exitcode == 0
+    results = [json.load(open(out)) for out in outs]
+    for r in results:
+        assert r["available"], r["reason"]
+    sos = list(cache_dir.glob("kernel-*.so"))
+    assert len(sos) == 1
+    assert {r["path"] for r in results} == {str(sos[0])}
+    # no orphaned compile tmp files from losing racers
+    assert not list(cache_dir.glob("*.so.tmp*"))

@@ -1,0 +1,133 @@
+"""Fleet tests: parallel grid runs, serial parity, and degraded cells.
+
+The acceptance contract from the service PR: a fleet run always yields
+a *complete* report — parallel cells bit-identical to serial goldens,
+crashed cells requeued once, unrecoverable cells marked failed with the
+rest of the grid intact.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.fleet import FLEET_SIMULATORS, FleetCell, grid_cells, run_fleet
+
+
+class TestGrid:
+    def test_default_scales_from_suite(self):
+        cells = grid_cells(workloads=["compress", "li"],
+                           simulators=["facile"])
+        from repro.workloads.suite import WORKLOADS
+
+        scales = {c.workload: c.scale for c in cells}
+        assert scales == {
+            "compress": WORKLOADS["compress"].test_scale,
+            "li": WORKLOADS["li"].test_scale,
+        }
+
+    def test_full_grid_shape(self):
+        from repro.workloads.suite import WORKLOADS
+
+        cells = grid_cells()
+        assert len(cells) == len(WORKLOADS) * len(FLEET_SIMULATORS)
+
+    def test_rejects_unknowns(self):
+        with pytest.raises(ValueError):
+            grid_cells(workloads=["spice"])
+        with pytest.raises(ValueError):
+            grid_cells(workloads=["compress"], simulators=["qemu"])
+
+
+@pytest.mark.slow
+class TestRunFleet:
+    def test_parity_vs_serial_goldens(self, tmp_path):
+        report = run_fleet(
+            workloads=["compress", "go"],
+            simulators=["facile", "fastsim"],
+            workers=2,
+            cache_dir=tmp_path,
+            verify=True,
+        )
+        assert len(report.cells) == 4
+        assert all(c.status == "ok" for c in report.cells)
+        assert report.verified and report.parity_ok
+        for cell in report.cells:
+            assert cell.parity is True
+            assert cell.cycles == cell.serial_cycles
+        assert report.hmean_used == report.hmean_total == 4
+        assert report.hmean_kips > 0
+        assert report.serial_seconds > 0 and report.wall_seconds > 0
+
+    def test_crashed_cell_requeued_and_completes(self, tmp_path):
+        flag = tmp_path / "crash-once"
+        flag.touch()
+        report = run_fleet(
+            workloads=["compress"],
+            simulators=["facile", "fastsim"],
+            workers=2,
+            cache_dir=tmp_path,
+            verify=True,
+            _sabotage={("compress", "facile"): str(flag)},
+        )
+        cell = next(c for c in report.cells if c.simulator == "facile")
+        assert cell.status == "ok"
+        assert cell.requeues == 1
+        assert cell.parity is True
+        assert report.pool_stats["crashes"] == 1
+
+    def test_dead_cell_marked_failed_report_complete(self, tmp_path):
+        report = run_fleet(
+            workloads=["compress"],
+            simulators=["facile", "fastsim"],
+            workers=2,
+            cache_dir=tmp_path,
+            verify=True,
+            _sabotage={("compress", "fastsim"): "always"},
+        )
+        bad = next(c for c in report.cells if c.simulator == "fastsim")
+        good = next(c for c in report.cells if c.simulator == "facile")
+        assert bad.status == "failed"
+        assert "crash" in bad.reason
+        assert bad.parity is None  # nothing to verify
+        assert good.status == "ok" and good.parity is True
+        # the failed cell is counted out of the hmean, visibly
+        assert report.hmean_used == 1 and report.hmean_total == 2
+        assert f"hmean {1}/{2}" in report.render_text()
+
+    def test_report_json_shape(self, tmp_path):
+        report = run_fleet(
+            workloads=["compress"],
+            simulators=["facile"],
+            workers=1,
+            cache_dir=tmp_path,
+            verify=False,
+        )
+        path = report.write(tmp_path / "out" / "BENCH_8.json")
+        data = json.loads(path.read_text())
+        assert data["bench"] == "fleet"
+        assert data["issue"] == 8 and data["version"] == 1
+        assert data["ok"] == 1 and data["failed"] == 0
+        assert data["verified"] is False
+        (cell,) = data["cells"]
+        assert cell["workload"] == "compress"
+        assert cell["cycles"] > 0
+
+
+class TestRenderText:
+    def test_renders_failed_cells(self):
+        from repro.serve.fleet import FleetReport
+
+        cells = [
+            FleetCell("compress", "facile", 1, status="ok", attempts=1,
+                      seconds=1.0, cycles=100, kips=50.0, parity=True),
+            FleetCell("go", "facile", 1, status="failed", attempts=2,
+                      requeues=1, reason="worker crashed"),
+        ]
+        report = FleetReport(cells=cells, workers=2)
+        report.hmean_kips, report.hmean_used, report.hmean_total = 50.0, 1, 2
+        text = report.render_text()
+        assert "failed" in text
+        assert "hmean 1/2" in text
+        assert "dropped from the harmonic mean" in text

@@ -1,0 +1,193 @@
+"""Simulation service tests: protocol, worker pool, and socket server.
+
+The pool tests exercise the fleet-safety contract end to end with real
+spawned worker processes: shard affinity, warm-snapshot reuse, the
+requeue-once crash budget, timeout kill-and-continue, and worker-side
+error reporting.  The server tests drive the asyncio front end through
+the blocking client over a real localhost socket.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import measure
+from repro.serve.client import ServeClient
+from repro.serve.protocol import (
+    JobSpec,
+    ProtocolError,
+    decode_msg,
+    encode_msg,
+    shard_index,
+)
+from repro.serve.server import ServerThread
+from repro.serve.worker import WorkerPool
+from repro.workloads.suite import build_cached
+
+
+def drain(pool, want, timeout=120.0, events=None):
+    """Pump pool events until ``want`` jobs resolve; returns
+    {job_id: terminal event}."""
+    done = {}
+    while len(done) < want:
+        ev = pool.next_event(timeout=timeout)
+        assert ev is not None, f"pool went quiet; resolved only {done}"
+        if events is not None and ev["event"] != "progress":
+            events.append(ev)
+        if ev["event"] in ("result", "failed"):
+            done[ev["job"]] = ev
+    return done
+
+
+class TestProtocol:
+    def test_roundtrip(self):
+        spec = JobSpec(workload="compress", scale=1, simulator="fastsim")
+        again = JobSpec.from_json(spec.to_json())
+        assert again == spec
+
+    def test_exactly_one_program_source(self):
+        with pytest.raises(ProtocolError):
+            JobSpec().validate()
+        with pytest.raises(ProtocolError):
+            JobSpec(workload="compress", asm="nop").validate()
+
+    def test_rejects_unknowns(self):
+        with pytest.raises(ProtocolError, match="unknown job fields"):
+            JobSpec.from_json({"workload": "compress", "bogus": 1})
+        with pytest.raises(ProtocolError, match="unknown simulator"):
+            JobSpec(workload="compress", simulator="qemu").validate()
+        with pytest.raises(ProtocolError, match="unknown workload"):
+            JobSpec(workload="spice").validate()
+
+    def test_shard_key_groups_same_cell(self):
+        a = JobSpec(workload="compress", scale=1)
+        b = JobSpec(workload="compress", scale=1, timeout_s=9.0, job_id=7)
+        c = JobSpec(workload="compress", scale=2)
+        # Identity excludes timeouts/ids; includes anything that moves
+        # the snapshot address.
+        assert a.shard_key() == b.shard_key()
+        assert a.shard_key() != c.shard_key()
+        assert shard_index(a, 5) == shard_index(b, 5)
+
+    def test_shard_index_spreads(self):
+        sims = ("facile", "fastsim", "simplescalar")
+        idx = {
+            shard_index(JobSpec(workload=w, scale=1, simulator=s), 8)
+            for w in ("compress", "go", "li", "gcc", "perl")
+            for s in sims
+        }
+        assert len(idx) > 1  # not everything on one shard
+
+    def test_framing(self):
+        raw = encode_msg({"op": "ping"})
+        assert raw.endswith(b"\n")
+        assert decode_msg(raw[:-1]) == {"op": "ping"}
+        with pytest.raises(ProtocolError):
+            decode_msg(b"not json")
+        with pytest.raises(ProtocolError):
+            decode_msg(b"[1,2]")
+        with pytest.raises(ProtocolError):
+            encode_msg({"x": "y" * (1 << 21)})
+
+
+@pytest.mark.slow
+class TestWorkerPool:
+    def test_results_match_serial_and_warm_reuse(self, tmp_path):
+        with WorkerPool(workers=2, cache_dir=tmp_path) as pool:
+            j1 = pool.submit(JobSpec(workload="compress", scale=1))
+            j2 = pool.submit(JobSpec(workload="compress", scale=1))
+            done = drain(pool, 2)
+        golden = measure(
+            "facile", build_cached("compress", 1), workload_name="compress"
+        )
+        assert done[j1]["event"] == done[j2]["event"] == "result"
+        assert done[j1]["cycles"] == golden.cycles == done[j2]["cycles"]
+        assert done[j1]["retired"] == golden.retired
+        # Same cell → same shard → the second run replays the first's
+        # snapshot warm.
+        assert done[j2]["snapshot_hit"] or done[j1]["snapshot_hit"]
+
+    def test_crash_once_requeues_and_completes(self, tmp_path):
+        flag = tmp_path / "crash-flag"
+        flag.touch()
+        events = []
+        with WorkerPool(workers=2, cache_dir=tmp_path) as pool:
+            j = pool.submit(
+                JobSpec(workload="compress", scale=1, crash=str(flag))
+            )
+            done = drain(pool, 1, events=events)
+        assert done[j]["event"] == "result"
+        kinds = [e["event"] for e in events]
+        assert "requeued" in kinds
+        assert not flag.exists()  # the hook consumed its flag
+        assert pool.stats.crashes == 1 and pool.stats.requeued == 1
+
+    def test_crash_always_fails_after_requeue_budget(self, tmp_path):
+        with WorkerPool(workers=2, cache_dir=tmp_path) as pool:
+            j = pool.submit(
+                JobSpec(workload="compress", scale=1, crash="always")
+            )
+            done = drain(pool, 1)
+            assert done[j]["event"] == "failed"
+            assert done[j]["kind"] == "crash"
+            assert "requeue" in done[j]["reason"]
+            # budget = 1 requeue → exactly two attempts, two crashes
+            assert pool.stats.crashes == 2
+            # ...and the respawned worker is healthy afterwards.
+            j2 = pool.submit(JobSpec(workload="compress", scale=1))
+            done = drain(pool, 1)
+        assert done[j2]["event"] == "result"
+
+    def test_timeout_kills_and_pool_survives(self, tmp_path):
+        with WorkerPool(workers=1, cache_dir=tmp_path) as pool:
+            j1 = pool.submit(
+                JobSpec(workload="li", scale=4, timeout_s=0.05)
+            )
+            j2 = pool.submit(JobSpec(workload="compress", scale=1))
+            done = drain(pool, 2)
+        assert done[j1]["event"] == "failed"
+        assert done[j1]["kind"] == "timeout"
+        assert done[j2]["event"] == "result"
+        assert pool.stats.timeouts == 1
+
+    def test_worker_error_reported_not_retried(self, tmp_path):
+        with WorkerPool(workers=1, cache_dir=tmp_path) as pool:
+            j = pool.submit(JobSpec(asm="definitely not sparc"))
+            done = drain(pool, 1)
+        assert done[j]["event"] == "failed"
+        assert done[j]["kind"] == "error"
+        assert pool.stats.errors == 1 and pool.stats.crashes == 0
+
+
+@pytest.mark.slow
+class TestServer:
+    def test_socket_roundtrip(self, tmp_path):
+        with ServerThread(workers=2, cache_dir=str(tmp_path)) as srv:
+            with ServeClient(port=srv.port, timeout=180.0) as client:
+                assert client.ping()["event"] == "pong"
+                job = client.submit(JobSpec(workload="compress", scale=1))
+                seen = []
+                final = client.wait(
+                    job, on_event=lambda e: seen.append(e["event"])
+                )
+                assert final["event"] == "result"
+                assert final["cycles"] > 0
+                assert "started" in seen
+                stats = client.stats()
+                assert stats["event"] == "stats"
+                assert stats["done"] == 1
+                assert client.shutdown()["event"] == "bye"
+
+    def test_rejects_bad_submissions(self, tmp_path):
+        with ServerThread(workers=1, cache_dir=str(tmp_path)) as srv:
+            with ServeClient(port=srv.port, timeout=60.0) as client:
+                client.send({"op": "submit", "job": {"workload": "nope"}})
+                ev = client.recv_event()
+                assert ev["event"] == "error"
+                assert "unknown workload" in ev["reason"]
+                client.send({"op": "frobnicate"})
+                assert "unknown op" in client.recv_event()["reason"]
+                client.send({"op": "shutdown"})
+                assert client.recv_event()["event"] == "bye"
