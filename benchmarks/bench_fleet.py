@@ -81,6 +81,7 @@ def main(argv: list[str] | None = None) -> int:
                 f"cell {cell.workload}/{cell.simulator}: {cell.reason}"
             )
     gate_speedup = not args.quick and cpus >= SPEEDUP_MIN_CORES
+    report.speedup_gated = gate_speedup
     if gate_speedup and report.speedup < SPEEDUP_FLOOR:
         failures.append(
             f"parallel grid only {report.speedup:.2f}x serial on "

@@ -197,6 +197,13 @@ def _backend_extra(extra: dict, holder) -> None:
         extra["replay_backend_reason"] = bstat["reason"]
     if bstat["active"] == "c":
         extra["ckernel_ms"] = bstat["compile_ms"]
+    native = getattr(holder, "_cnative", None)
+    counts = getattr(native, "extern_counts", None)
+    if counts is not None:
+        by_name = counts()
+        extra["externs_native"] = sum(c["native"] for c in by_name.values())
+        extra["externs_python"] = sum(c["python"] for c in by_name.values())
+        extra["externs"] = by_name
 
 
 def _snapshot_extra(extra: dict, holder) -> None:

@@ -115,7 +115,7 @@ _RUNNERS = {
         cache_limit_bytes=a.cache_limit, cache_evict=a.cache_evict,
         flat_pack=a.flat_pack,
         cache_dir=a.cache_dir, cache_load=a.cache_load, cache_save=a.cache_save,
-        replay_backend=a.replay_backend,
+        replay_backend=a.replay_backend, profile=a.profile,
     ),
     "inorder": lambda p, a: run_facile_inorder(
         p, memoized=not a.plain, trace_jit=a.trace_jit,
@@ -123,7 +123,7 @@ _RUNNERS = {
         cache_limit_bytes=a.cache_limit, cache_evict=a.cache_evict,
         flat_pack=a.flat_pack,
         cache_dir=a.cache_dir, cache_load=a.cache_load, cache_save=a.cache_save,
-        replay_backend=a.replay_backend,
+        replay_backend=a.replay_backend, profile=a.profile,
     ),
     "inorder-ref": lambda p, a: run_inorder(p),
     "ooo": lambda p, a: run_facile_ooo(
@@ -132,7 +132,7 @@ _RUNNERS = {
         cache_limit_bytes=a.cache_limit, cache_evict=a.cache_evict,
         flat_pack=a.flat_pack,
         cache_dir=a.cache_dir, cache_load=a.cache_load, cache_save=a.cache_save,
-        replay_backend=a.replay_backend,
+        replay_backend=a.replay_backend, profile=a.profile,
     ),
     "ooo-ref": lambda p, a: run_reference(p),
     "ooo-fastsim": lambda p, a: run_fastsim(
@@ -180,13 +180,27 @@ def _report_run(kind: str, result, elapsed: float) -> None:
         if bstat["active"] == "c":
             line = (f"replay backend: c "
                     f"(kernel ready in {bstat['compile_ms']:.1f} ms")
-            native = getattr(engine, "_cnative", None)
+            native = getattr(engine, "_cnative", None) or getattr(
+                result, "_cnative", None
+            )
             if native is not None:
                 ns = native.summary()
                 line += (f"; {ns['chains_lowered']:,} chains lowered, "
-                         f"{ns['runs']:,} kernel runs, "
-                         f"{ns['python_fallbacks']:,} python fallbacks")
+                         f"{ns['runs']:,} kernel runs")
+                if "python_fallbacks" in ns:
+                    line += f", {ns['python_fallbacks']:,} python fallbacks"
             print(line + ")")
+            counts = getattr(native, "extern_counts", None)
+            if counts is not None:
+                by_name = counts()
+                n_native = sum(c["native"] for c in by_name.values())
+                n_python = sum(c["python"] for c in by_name.values())
+                detail = ", ".join(
+                    f"{name} {c['native']:,}/{c['python']:,}"
+                    for name, c in sorted(by_name.items())
+                )
+                print(f"externs: {n_native:,} native / {n_python:,} python"
+                      + (f" ({detail})" if detail else ""))
         else:
             print(f"replay backend: python "
                   f"(requested {bstat['requested']}: {bstat['reason']})")
@@ -530,6 +544,12 @@ def _add_trace_flags(p: argparse.ArgumentParser) -> None:
         help="packed-chain replay backend: the Python loop (default) or "
         "a C kernel compiled once per process, degrading to Python "
         "when no C compiler is available",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="count fast-engine executions per action (hot-action "
+        "analysis); forces the interpreter tiers, so traces and the C "
+        "replay kernel are bypassed for the run",
     )
 
 

@@ -187,6 +187,25 @@ def cache_summary(cache: ActionCache, engine=None) -> str:
                 f"{ns['runs']:,} kernel runs, "
                 f"{ns['python_fallbacks']:,} python fallbacks"
             )
+            counts = getattr(native, "extern_counts", None)
+            if counts is not None:
+                by_name = counts()
+                n_native = sum(c["native"] for c in by_name.values())
+                n_python = sum(c["python"] for c in by_name.values())
+                lines.append(
+                    f"  externs:          {n_native:,} native / "
+                    f"{n_python:,} python"
+                )
+                for name, c in sorted(by_name.items()):
+                    kind = (
+                        "native" if c["native"] and not c["python"]
+                        else "python" if c["python"] and not c["native"]
+                        else "mixed" if c["python"] or c["native"] else "idle"
+                    )
+                    lines.append(
+                        f"    {name:<14} {c['native']:>12,} native "
+                        f"{c['python']:>10,} python  [{kind}]"
+                    )
     return "\n".join(lines)
 
 

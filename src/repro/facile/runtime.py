@@ -1431,8 +1431,20 @@ class FastForwardEngine:
         profiling is enabled the driver bypasses trace execution and
         suspends promotion: every replay goes through the interpreter
         and is attributed per action.  Call before :meth:`run`.
+
+        The C replay kernel is bypassed for the same reason, and the
+        downgrade is surfaced in ``backend_status`` so run reports say
+        why a "c" request executed on the interpreter.
         """
         self.action_profile = Counter() if enabled else None
+        status = getattr(self, "backend_status", None)
+        if status is not None and status["requested"] == "c":
+            if enabled and self._cnative is not None:
+                status["active"] = "python"
+                status["reason"] = "profiling forces the interpreter tiers"
+            elif not enabled and self._cnative is not None:
+                status["active"] = "c"
+                status["reason"] = ""
 
     def _freeze_key(self, raw) -> tuple:
         # When init is written by a flush action the stored value is

@@ -52,6 +52,7 @@ def run_facile_functional(
     cache_load=None,
     cache_save=None,
     replay_backend: str = "python",
+    profile: bool = False,
 ) -> FunctionalRun:
     """Run a program to completion on the Facile functional simulator."""
     compiled = compiled_functional_sim().simulator
@@ -64,6 +65,8 @@ def run_facile_functional(
             trace_jit=trace_jit, trace_threshold=trace_threshold,
             flat_pack=flat_pack, replay_backend=replay_backend,
         )
+        if profile:
+            engine.profile(True)
         from ..facile.snapshot import engine_fingerprint, warm_start
 
         warm = warm_start(

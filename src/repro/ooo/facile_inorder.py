@@ -197,6 +197,14 @@ class FacileInOrderSim:
         self.compiled = compiled_inorder_sim(self.config).simulator
         self.dcache, self.predictor = C.default_uarch(self.config)
         self.ctx = self.compiled.make_context(self._externs())
+        # The models behind each extern, so the C replay backend can
+        # lower recognised ones to in-kernel native dispatches.
+        self.ctx.extern_models = {
+            "xcache": self.dcache,
+            "xbpred": self.predictor,
+            "xbind": self.predictor,
+            "xbcall": self.predictor,
+        }
         program.load_into(self.ctx.mem)
         self.ctx.read_global("R")[14] = program.stack_top
         ready = tuple([0] * 33)
@@ -252,6 +260,7 @@ def run_facile_inorder(
     flat_pack: bool = True,
     cache_dir=None, cache_load=None, cache_save=None,
     replay_backend: str = "python",
+    profile: bool = False,
 ) -> InOrderRun:
     sim = FacileInOrderSim(
         program, config, memoized=memoized,
@@ -259,6 +268,8 @@ def run_facile_inorder(
         cache_limit_bytes=cache_limit_bytes, cache_evict=cache_evict,
         flat_pack=flat_pack, replay_backend=replay_backend,
     )
+    if profile and hasattr(sim.engine, "profile"):
+        sim.engine.profile(True)
     warm = None
     if memoized:
         from ..facile.snapshot import engine_fingerprint, warm_start

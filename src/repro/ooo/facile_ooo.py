@@ -349,6 +349,14 @@ class FacileOooSim:
         self.compiled = result.simulator
         self.dcache, self.predictor = C.default_uarch(self.config)
         self.ctx = self.compiled.make_context(self._externs())
+        # The models behind each extern, so the C replay backend can
+        # lower recognised ones to in-kernel native dispatches.
+        self.ctx.extern_models = {
+            "xcache": self.dcache,
+            "xbpred": self.predictor,
+            "xbind": self.predictor,
+            "xbcall": self.predictor,
+        }
         program.load_into(self.ctx.mem)
         self.ctx.read_global("R")[14] = program.stack_top
         self.ctx.write_global("init", self._initial_key())
@@ -429,6 +437,7 @@ def run_facile_ooo(
     cache_load=None,
     cache_save=None,
     replay_backend: str = "python",
+    profile: bool = False,
 ) -> FacileOooRun:
     sim = FacileOooSim(
         program,
@@ -444,6 +453,8 @@ def run_facile_ooo(
         flat_pack=flat_pack,
         replay_backend=replay_backend,
     )
+    if profile and hasattr(sim.engine, "profile"):
+        sim.engine.profile(True)
     warm = None
     if memoized:
         from ..facile.snapshot import engine_fingerprint, warm_start

@@ -78,7 +78,7 @@ class _Node:
 
     __slots__ = (
         "events", "check", "succ", "next_key", "stamp", "nbytes",
-        "key_cost", "packed",
+        "key_cost", "packed", "cnative",
     )
 
     def __init__(self) -> None:
@@ -90,6 +90,8 @@ class _Node:
         self.nbytes = 0
         self.key_cost = 0
         self.packed: _PackedCycle | None = None
+        # C-kernel chain id once lowered (-1: proved unlowerable).
+        self.cnative: int | None = None
 
 
 class _PackedCycle:
@@ -172,10 +174,11 @@ def cycle_ir(chain: "_PackedCycle", pool_values: list):
 
     Returns ``(kinds, payloads, succ)`` parallel lists where ``kinds``
     holds ``K_*`` codes, ``payloads`` the pooled event/check tuples, and
-    ``succ`` the fall-through/expected/table successor per slot.  The
-    fastsim events themselves call host-Python models, so this view is
-    descriptive (tests, inspect) rather than a C-lowering input — the
-    kernel path rejects fastsim with a reported reason.
+    ``succ`` the fall-through/expected/table successor per slot.  This
+    view is descriptive (tests, inspect); the C lowering path
+    (:class:`CFastSimBackend`) marshals the packed streams directly and
+    dispatches cache/predictor checks to the kernel's native uarch
+    models.
     """
     from ..facile.replay_ir import (
         K_ACTION, K_END, K_VERIFY_EQ, K_VERIFY_TAB,
@@ -206,6 +209,340 @@ def cycle_ir(chain: "_PackedCycle", pool_values: list):
             payloads.append(pool_values[pstream[i]])
             succ.append(None)
     return kinds, payloads, succ
+
+
+class _FsUnlowerable(Exception):
+    """This cycle (or this simulator's models) cannot run natively."""
+
+
+class CFastSimBackend:
+    """Native per-cycle replay for the fastsim twin.
+
+    Packed cycles marshal into in-kernel ``FsChain`` lane arrays and a
+    single ``ffs_run`` call walks one full cycle: EV_STAT and EV_BCALL
+    slots and every cache/predictor check run natively against the
+    kernel's uarch models (bound zero-copy over the simulator's own
+    ``array('q')`` state), while EV_EXEC/EV_ANNUL slots call back into
+    :class:`FunctionalSim` — the functional step is target-semantics
+    Python by design; the timing-model callback tax is what this
+    removes.  Check results encode as i64 (cache: latency; bpred:
+    ``taken*2+correct``; bind: ``target*2+correct``) both in the
+    successor lanes and in the kernel's consumed log, which decodes
+    back to the recorder's ``(kind, value)`` tuples on a miss.
+    """
+
+    def __init__(self, sim: "FastSimOoo"):
+        import ctypes
+
+        from ..facile import cbackend as cb
+
+        kernel = cb.load_kernel()
+        if not kernel.status.available:
+            raise _FsUnlowerable(kernel.status.reason or "C kernel unavailable")
+        self.sim = sim
+        self.lib = kernel.lib
+        self._cb = cb
+        self._ctypes = ctypes
+        st = self.lib.ffc_new()
+        if not st:
+            raise _FsUnlowerable("ffc_new failed")
+        self._st_p = ctypes.c_void_p(st)
+        self._st = ctypes.cast(
+            self._st_p, ctypes.POINTER(cb._StPrefix)
+        ).contents
+        self._fs_cb = cb.FS_CB(self._on_event)
+        self.lib.ffs_set_cb(self._st_p, self._fs_cb)
+        self._exit = cb.FfcExit()
+        self._exc: BaseException | None = None
+        self._cur_payloads: list | None = None
+        self._keepalive: list = []
+        self._drain: list = []
+        self._payloads: dict[int, list] = {}
+        self._shapes: dict[int, tuple] = {}
+        self._ends: dict[int, list] = {}
+        self.runs = 0
+        self.native_events = 0
+        self.chains_lowered = 0
+        self.chains_unlowerable = 0
+        nxids = []
+        try:
+            for name, model in (
+                ("xbpred", sim.predictor),
+                ("xbind", sim.predictor),
+                ("xcache", sim.cache),
+            ):
+                plan = cb._nx_lower(name, model)
+                if plan is None:
+                    raise _FsUnlowerable(
+                        "uarch models not natively supported"
+                    )
+                kind, params, arrays, drain = plan
+                pbuf = array("q", params) if params else None
+                nxid = self.lib.ffc_nx_add(
+                    self._st_p, kind,
+                    cb._q_ptr(pbuf) if pbuf is not None else None,
+                    len(params),
+                )
+                if nxid < 0:
+                    raise _FsUnlowerable("native model registry full")
+                for slot, arr in arrays.items():
+                    addr, n = arr.buffer_info()
+                    self.lib.ffc_nx_set_arr(
+                        self._st_p, nxid, slot,
+                        ctypes.cast(addr, cb._PLL), n,
+                    )
+                self._keepalive.append((pbuf, list(arrays.values())))
+                for m in drain:
+                    if not any(m is d for d in self._drain):
+                        self._drain.append(m)
+                nxids.append(nxid)
+        except _FsUnlowerable:
+            self.close()
+            raise
+        self.lib.ffs_set_models(self._st_p, nxids[0], nxids[1], nxids[2])
+
+    def close(self) -> None:
+        if self._st_p:
+            self.lib.ffc_free(self._st_p)
+            self._st_p = self._ctypes.c_void_p(0)
+
+    def __del__(self):  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- lowering --------------------------------------------------------
+
+    @staticmethod
+    def _encode(kind: int, value) -> int:
+        if kind == EV_CACHE:
+            if type(value) is bool or type(value) is not int:
+                raise _FsUnlowerable(f"non-int cache latency {value!r}")
+            return value
+        if type(value) is not tuple or len(value) != 2:
+            raise _FsUnlowerable(f"bad check value {value!r}")
+        first, correct = value
+        if kind == EV_BPRED:
+            return (2 if first else 0) + (1 if correct else 0)
+        if type(first) is bool or type(first) is not int or first < 0:
+            raise _FsUnlowerable(f"bad bind target {value!r}")
+        return first * 2 + (1 if correct else 0)
+
+    @staticmethod
+    def _decode(kind: int, v: int):
+        if kind == EV_CACHE:
+            return int(v)
+        if kind == EV_BPRED:
+            return (bool(v & 2), bool(v & 1))
+        return (int(v) >> 1, bool(v & 1))
+
+    def _lower(self, root: _Node) -> int | None:
+        cn = root.cnative
+        if cn is not None:
+            return cn if cn >= 0 else None
+        try:
+            fsid = self._marshal(root)
+        except (_FsUnlowerable, TypeError, OverflowError):
+            root.cnative = -1
+            self.chains_unlowerable += 1
+            return None
+        root.cnative = fsid
+        self.chains_lowered += 1
+        return fsid
+
+    def _marshal(self, root: _Node) -> int:
+        chain = root.packed
+        if chain.kkinds is None:
+            _build_cycle_view(chain, self.sim.pool.values)
+        kk = chain.kkinds
+        pv = chain.payload_vals
+        sux = chain.sux
+        n = len(kk)
+        kinds = array("q", kk)
+        a0 = array("q", bytes(8 * n))
+        a1 = array("q", bytes(8 * n))
+        a2 = array("q", bytes(8 * n))
+        tables: list[dict] = []
+        ends: list[tuple] = []
+        for i, k in enumerate(kk):
+            if k == FS_END:
+                a0[i] = len(ends)
+                ends.append(sux[i])
+            elif k >= FS_CHECK_BASE:
+                ek = k - FS_CHECK_BASE
+                if ek == EV_CACHE or ek == EV_BIND:
+                    a2[i] = 1 if pv[i][0] else 0
+                sx = sux[i]
+                if sx.__class__ is dict:
+                    enc = {
+                        self._encode(ek, value): tgt
+                        for value, tgt in sx.items()
+                    }
+                    if len(enc) != len(sx):
+                        raise _FsUnlowerable("ambiguous check encoding")
+                    a0[i] = 1
+                    a1[i] = len(tables)
+                    tables.append(enc)
+                else:
+                    a0[i] = 0
+                    a1[i] = self._encode(ek, sx)
+            else:
+                ev = pv[i]
+                if k == EV_STAT:
+                    a0[i] = ev[1]
+                    a1[i] = ev[2]
+                elif k == EV_EXEC or k == EV_ANNUL:
+                    a0[i] = i
+                else:  # EV_BCALL
+                    a0[i] = ev[1]
+        toff = array("q", bytes(8 * len(tables)))
+        tlen = array("q", bytes(8 * len(tables)))
+        tkeys = array("q")
+        ttgt = array("q")
+        for t, tb in enumerate(tables):
+            toff[t] = len(tkeys)
+            tlen[t] = len(tb)
+            for value, tgt in tb.items():
+                tkeys.append(value)
+                ttgt.append(tgt)
+        q = self._cb._q_ptr
+        fsid = self.lib.ffs_add_chain(
+            self._st_p, n, q(kinds), q(a0), q(a1), q(a2),
+            len(tables), q(toff), q(tlen), q(tkeys), len(tkeys), q(ttgt),
+        )
+        if fsid < 0:
+            raise _FsUnlowerable("kernel out of memory")
+        self._payloads[fsid] = pv
+        self._shapes[fsid] = (kk, a0, a1, tables)
+        self._ends[fsid] = ends
+        return fsid
+
+    # -- invalidation hooks ----------------------------------------------
+
+    def drop_root(self, root: _Node) -> None:
+        cn = root.cnative
+        root.cnative = None
+        if cn is not None and cn >= 0:
+            self.lib.ffs_drop_chain(self._st_p, cn)
+            self._payloads.pop(cn, None)
+            self._shapes.pop(cn, None)
+            self._ends.pop(cn, None)
+
+    def drop_all(self) -> None:
+        self.lib.ffs_drop_all(self._st_p)
+        self._payloads.clear()
+        self._shapes.clear()
+        self._ends.clear()
+
+    # -- execution -------------------------------------------------------
+
+    def _on_event(self, op, slot):
+        try:
+            func = self.sim.func
+            if op:
+                func.step()
+                return 0
+            ev = self._cur_payloads[slot]
+            info = func.exec_decoded(ev[2], ev[1])
+            st = self._st
+            st.fs_pc = info.pc
+            st.fs_taken = 1 if info.taken else 0
+            target = info.target
+            st.fs_target = target if target is not None else 0
+            mem_addr = info.mem_addr
+            st.fs_memaddr = mem_addr if mem_addr is not None else 0
+            return 0
+        except BaseException as exc:  # ctypes swallows exceptions
+            self._exc = exc
+            return -1
+
+    def _decode_consumed(self, fsid: int) -> list[tuple]:
+        """Reconstruct the recorder's consumed-event list by re-walking
+        the chain shape against the kernel's logged check values."""
+        st = self._st
+        vals = [st.consumed[j] for j in range(st.nconsumed)]
+        kk, a0, a1, tables = self._shapes[fsid]
+        consumed: list[tuple] = []
+        i = 0
+        vi = 0
+        nvals = len(vals)
+        while vi < nvals:
+            k = kk[i]
+            if k < FS_CHECK_BASE:
+                consumed.append((k, None))
+                i += 1
+                continue
+            ek = k - FS_CHECK_BASE
+            v = vals[vi]
+            vi += 1
+            consumed.append((ek, self._decode(ek, v)))
+            if vi == nvals:
+                break  # the missed check
+            if a0[i] == 0:
+                i += 1
+            else:
+                i = tables[a1[i]][v]
+        return consumed
+
+    def run_root(self, key: tuple, root: _Node):
+        """Replay one cycle natively; returns the next key, or None to
+        fall back to the Python replay loop for this cycle."""
+        fsid = self._lower(root)
+        if fsid is None:
+            return None
+        sim = self.sim
+        st = self._st
+        stats = sim.stats
+        st.cycles = stats.cycles
+        st.retired_total = stats.retired
+        st.retired_fast = sim.retired_fast
+        st.fs_loads = 0
+        st.fs_stores = 0
+        st.fs_branches = 0
+        st.fs_mispred = 0
+        self._exc = None
+        self._cur_payloads = self._payloads[fsid]
+        ex = self._exit
+        self.lib.ffs_run(self._st_p, fsid, self._ctypes.byref(ex))
+        stats.cycles = st.cycles
+        stats.retired = st.retired_total
+        sim.retired_fast = st.retired_fast
+        stats.loads += st.fs_loads
+        stats.stores += st.fs_stores
+        stats.branches += st.fs_branches
+        stats.mispredicts += st.fs_mispred
+        for model in self._drain:
+            model.drain_stats()
+        self.runs += 1
+        mstats = sim.mstats
+        if ex.code == 4:  # X_ERR
+            exc = self._exc
+            self._exc = None
+            if exc is not None:
+                raise exc
+            raise RuntimeError(f"fastsim C kernel error {ex.err}")
+        self.native_events += ex.actions
+        mstats.events_replayed += ex.actions
+        if ex.code == 1:  # clean FS_END
+            mstats.cycles_fast += 1
+            return self._ends[fsid][ex.end_ix]
+        # Check miss: decode the consumed prefix, thaw the entry, and
+        # recover through the slow simulator exactly as _replay_packed.
+        consumed = self._decode_consumed(fsid)
+        mstats.misses_check += 1
+        mstats.cycles_recovered += 1
+        sim._materialize(key)
+        sim._unpack_root(root)  # drops this chain via the hook
+        return sim._slow_cycle(record=True, root=root, recovery=consumed)
+
+    def summary(self) -> dict:
+        return {
+            "chains_lowered": self.chains_lowered,
+            "chains_unlowerable": self.chains_unlowerable,
+            "runs": self.runs,
+            "native_events": self.native_events,
+        }
 
 
 @dataclass
@@ -306,19 +643,35 @@ class FastSimOoo:
         self.snapshots: list = []
         self.snapshot_load = None
         self.snapshot_save = None
-        # The fastsim twin shares the chain encoding (see cycle_ir) but
-        # its events call host-Python models (FunctionalSim.execute, the
-        # cache/predictor objects), so the C kernel cannot run them; a
-        # "c" request degrades to the Python loop with a reported reason.
-        self.backend_status = {
+        # A "c" request lowers packed chains into the C kernel, with the
+        # uarch models registered as native externs; only EV_EXEC and
+        # EV_ANNUL events call back into FunctionalSim.  Degrades to the
+        # Python loop with a reported reason when the kernel is missing
+        # or the models don't match a registered native kind.
+        self._cnative: CFastSimBackend | None = None
+        status = {
             "requested": replay_backend,
             "active": "python",
-            "reason": (
-                "fastsim events call host-Python models"
-                if replay_backend == "c" else ""
-            ),
+            "reason": "",
             "compile_ms": 0.0,
         }
+        if replay_backend == "c":
+            if not memoize:
+                status["reason"] = "memoization disabled"
+            elif not flat_pack:
+                status["reason"] = "flat packing disabled"
+            else:
+                import time as _time
+
+                t0 = _time.perf_counter()
+                try:
+                    self._cnative = CFastSimBackend(self)
+                except _FsUnlowerable as exc:
+                    status["reason"] = str(exc)
+                else:
+                    status["active"] = "c"
+                    status["compile_ms"] = (_time.perf_counter() - t0) * 1e3
+        self.backend_status = status
 
     # -- key handling ----------------------------------------------------------
 
@@ -384,7 +737,11 @@ class FastSimOoo:
                 key = self._slow_cycle(record=True, root=root)
             elif node.packed is not None:
                 node.stamp = self.gen
-                key = self._replay_packed(key, node)
+                if self._cnative is not None:
+                    nk = self._cnative.run_root(key, node)
+                    key = nk if nk is not None else self._replay_packed(key, node)
+                else:
+                    key = self._replay_packed(key, node)
             else:
                 node.stamp = self.gen
                 key = self._replay(key, node)
@@ -484,6 +841,8 @@ class FastSimOoo:
         if self.memo_evict == "clear":
             self.memo.clear()
             self.pool.clear()
+            if self._cnative is not None:
+                self._cnative.drop_all()
             self.mstats.bytes_estimate = 0
             self.mstats.bytes_shared = 0
             self.mstats.clears += 1
@@ -508,6 +867,8 @@ class FastSimOoo:
     def _release_root(self, root: _Node) -> int:
         """Total refund for dropping ``root``: its accounted entry
         bytes plus any pooled bytes it held the last reference to."""
+        if self._cnative is not None:
+            self._cnative.drop_root(root)
         refund = root.nbytes
         chain = root.packed
         if chain is not None:
@@ -710,6 +1071,7 @@ class FastSimOoo:
         old = root.nbytes
         root.nbytes = root.key_cost + chain.local_bytes
         root.packed = chain
+        root.cnative = None
         root.events = []
         root.check = None
         root.succ = {}
@@ -721,6 +1083,8 @@ class FastSimOoo:
         """Rebuild the record tree from the packed streams (so the
         recorder can walk it and attach a miss fork), release the pool
         references, and re-account the entry at its unpacked size."""
+        if self._cnative is not None:
+            self._cnative.drop_root(root)
         chain = root.packed
         kinds = chain.kinds
         pstream = chain.payload

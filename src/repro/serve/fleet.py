@@ -73,6 +73,12 @@ class FleetReport:
     hmean_total: int = 0
     verified: bool = False
     cpu_count: int = 0
+    # Whether the harness enforced its speedup floor on this run.  Small
+    # machines and --quick grids skip the floor; the report must say so
+    # explicitly instead of leaving a sub-floor speedup next to
+    # ``verified: true`` with no explanation (a 1-core host reporting
+    # 0.68x is expected, not a regression).
+    speedup_gated: bool = False
     pool_stats: dict = field(default_factory=dict)
 
     @property
@@ -103,6 +109,7 @@ class FleetReport:
             "hmean_used": self.hmean_used,
             "hmean_total": self.hmean_total,
             "verified": self.verified,
+            "speedup_gated": bool(self.speedup_gated),
             "parity_ok": self.parity_ok,
             "ok": len(self.ok_cells),
             "failed": len(self.failed_cells),
@@ -145,7 +152,8 @@ class FleetReport:
             f"wall {self.wall_seconds:.2f}s"
             + (
                 f" vs serial {self.serial_seconds:.2f}s "
-                f"({self.speedup:.2f}x)"
+                f"({self.speedup:.2f}x, floor "
+                + ("enforced)" if self.speedup_gated else "not enforced)")
                 if self.verified else ""
             ),
             f"{label}: {self.hmean_kips:.1f} kips",

@@ -6,6 +6,7 @@ simulator are not memoized").  Provided predictors:
 
 * :class:`BimodalPredictor` — PC-indexed 2-bit saturating counters;
 * :class:`GSharePredictor` — global-history XOR PC indexing;
+* :class:`TournamentPredictor` — chooser between the two above;
 * :class:`BranchTargetBuffer` — direct-mapped target cache for
   indirect jumps (``jmpl``);
 * :class:`ReturnAddressStack` — a small RAS for call/return pairs;
@@ -13,10 +14,31 @@ simulator are not memoized").  Provided predictors:
   used by ablation benchmarks.
 
 All predictors are deterministic functions of their update history.
+
+Module protocol (native externs)
+--------------------------------
+
+Every model keeps its mutable state in fixed-size ``array('q')``
+buffers and exposes two methods:
+
+* ``state_arrays()`` — a name -> ``array('q')`` map of those buffers.
+  The C replay kernel (:mod:`repro.facile.cbackend`) binds the same
+  buffers zero-copy, so the Python methods here and the native kernel
+  code mutate *identical* memory; the Python classes remain the
+  executable specification, with parity enforced by test.
+* ``config_key()`` — a hashable description of the model's shape; the
+  native registry matches on its leading tag to pick a dispatch kind.
+
+Scalar state (gshare history, RAS depth-in-use) lives in a one-element
+``regs`` array behind a property, for the same reason.  Statistics
+recorded natively accumulate as deltas in a ``stats_delta`` array and
+are drained into the Python dataclasses at kernel sync points
+(:meth:`FrontEndPredictor.drain_stats`).
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 
 
@@ -42,8 +64,14 @@ class BimodalPredictor:
         if entries & (entries - 1):
             raise ValueError("entries must be a power of two")
         self.entries = entries
-        self.table = [2] * entries  # weakly taken
+        self.table = array("q", [2]) * entries  # weakly taken
         self.stats = PredictorStats()
+
+    def config_key(self) -> tuple:
+        return ("bimodal", self.entries)
+
+    def state_arrays(self) -> dict[str, array]:
+        return {"table": self.table}
 
     def _index(self, pc: int) -> int:
         return (pc >> 2) & (self.entries - 1)
@@ -66,12 +94,26 @@ class GSharePredictor:
     def __init__(self, history_bits: int = 10):
         self.history_bits = history_bits
         self.entries = 1 << history_bits
-        self.table = [2] * self.entries
-        self.history = 0
+        self.table = array("q", [2]) * self.entries
+        self.regs = array("q", [0])  # [0] = global history
         self.stats = PredictorStats()
 
+    def config_key(self) -> tuple:
+        return ("gshare", self.history_bits)
+
+    def state_arrays(self) -> dict[str, array]:
+        return {"table": self.table, "regs": self.regs}
+
+    @property
+    def history(self) -> int:
+        return self.regs[0]
+
+    @history.setter
+    def history(self, value: int) -> None:
+        self.regs[0] = value
+
     def _index(self, pc: int) -> int:
-        return ((pc >> 2) ^ self.history) & (self.entries - 1)
+        return ((pc >> 2) ^ self.regs[0]) & (self.entries - 1)
 
     def predict(self, pc: int) -> bool:
         return self.table[self._index(pc)] >= 2
@@ -80,7 +122,7 @@ class GSharePredictor:
         idx = self._index(pc)
         counter = self.table[idx]
         self.table[idx] = min(3, counter + 1) if taken else max(0, counter - 1)
-        self.history = ((self.history << 1) | (1 if taken else 0)) & (self.entries - 1)
+        self.regs[0] = ((self.regs[0] << 1) | (1 if taken else 0)) & (self.entries - 1)
 
 
 class TournamentPredictor:
@@ -91,9 +133,20 @@ class TournamentPredictor:
     def __init__(self, entries: int = 2048, history_bits: int = 10):
         self.bimodal = BimodalPredictor(entries)
         self.gshare = GSharePredictor(history_bits)
-        self.chooser = [2] * entries  # >=2 prefers gshare
+        self.chooser = array("q", [2]) * entries  # >=2 prefers gshare
         self.entries = entries
         self.stats = PredictorStats()
+
+    def config_key(self) -> tuple:
+        return ("tournament", self.entries, self.gshare.history_bits)
+
+    def state_arrays(self) -> dict[str, array]:
+        return {
+            "chooser": self.chooser,
+            "bimodal": self.bimodal.table,
+            "gshare": self.gshare.table,
+            "gshare_regs": self.gshare.regs,
+        }
 
     def _index(self, pc: int) -> int:
         return (pc >> 2) & (self.entries - 1)
@@ -119,6 +172,12 @@ class AlwaysTaken:
     def __init__(self):
         self.stats = PredictorStats()
 
+    def config_key(self) -> tuple:
+        return ("taken",)
+
+    def state_arrays(self) -> dict[str, array]:
+        return {}
+
     def predict(self, pc: int) -> bool:
         return True
 
@@ -129,6 +188,12 @@ class AlwaysTaken:
 class AlwaysNotTaken:
     def __init__(self):
         self.stats = PredictorStats()
+
+    def config_key(self) -> tuple:
+        return ("nottaken",)
+
+    def state_arrays(self) -> dict[str, array]:
+        return {}
 
     def predict(self, pc: int) -> bool:
         return False
@@ -144,9 +209,15 @@ class BranchTargetBuffer:
         if entries & (entries - 1):
             raise ValueError("entries must be a power of two")
         self.entries = entries
-        self.tags = [-1] * entries
-        self.targets = [0] * entries
+        self.tags = array("q", [-1]) * entries
+        self.targets = array("q", [0]) * entries
         self.stats = PredictorStats()
+
+    def config_key(self) -> tuple:
+        return ("btb", self.entries)
+
+    def state_arrays(self) -> dict[str, array]:
+        return {"tags": self.tags, "targets": self.targets}
 
     def _index(self, pc: int) -> int:
         return (pc >> 2) & (self.entries - 1)
@@ -168,15 +239,43 @@ class ReturnAddressStack:
 
     def __init__(self, depth: int = 16):
         self.depth = depth
-        self.stack: list[int] = []
+        self.buf = array("q", [0]) * depth
+        self.regs = array("q", [0])  # [0] = entries in use
+
+    def config_key(self) -> tuple:
+        return ("ras", self.depth)
+
+    def state_arrays(self) -> dict[str, array]:
+        return {"buf": self.buf, "regs": self.regs}
+
+    @property
+    def stack(self) -> list[int]:
+        return list(self.buf[: self.regs[0]])
 
     def push(self, addr: int) -> None:
-        self.stack.append(addr)
-        if len(self.stack) > self.depth:
-            self.stack.pop(0)
+        n = self.regs[0]
+        if n == self.depth:
+            # Full: drop the oldest entry, keep the stack order.
+            buf = self.buf
+            for i in range(self.depth - 1):
+                buf[i] = buf[i + 1]
+            buf[self.depth - 1] = addr
+            return
+        self.buf[n] = addr
+        self.regs[0] = n + 1
 
     def pop(self) -> int | None:
-        return self.stack.pop() if self.stack else None
+        n = self.regs[0]
+        if n == 0:
+            return None
+        self.regs[0] = n - 1
+        return self.buf[n - 1]
+
+
+#: stats_delta layout shared with the C kernel: [predictions, correct].
+FE_STAT_PREDICTIONS = 0
+FE_STAT_CORRECT = 1
+FE_NSTATS = 2
 
 
 class FrontEndPredictor:
@@ -193,6 +292,31 @@ class FrontEndPredictor:
         self.btb = btb or BranchTargetBuffer()
         self.ras = ras or ReturnAddressStack()
         self.stats = PredictorStats()
+        # Native dispatches bump these deltas in-kernel; drain_stats()
+        # folds them into self.stats at the kernel's sync points.
+        self.stats_delta = array("q", [0]) * FE_NSTATS
+
+    def config_key(self) -> tuple:
+        direction = getattr(self.direction, "config_key", lambda: ("?",))()
+        return ("frontend", direction, self.btb.entries, self.ras.depth)
+
+    def state_arrays(self) -> dict[str, array]:
+        out = {"stats_delta": self.stats_delta}
+        for name, arr in getattr(self.direction, "state_arrays", dict)().items():
+            out[f"direction.{name}"] = arr
+        for name, arr in self.btb.state_arrays().items():
+            out[f"btb.{name}"] = arr
+        for name, arr in self.ras.state_arrays().items():
+            out[f"ras.{name}"] = arr
+        return out
+
+    def drain_stats(self) -> None:
+        delta = self.stats_delta
+        if delta[FE_STAT_PREDICTIONS]:
+            self.stats.predictions += delta[FE_STAT_PREDICTIONS]
+            self.stats.correct += delta[FE_STAT_CORRECT]
+            delta[FE_STAT_PREDICTIONS] = 0
+            delta[FE_STAT_CORRECT] = 0
 
     def predict_branch(self, pc: int) -> bool:
         return self.direction.predict(pc)
