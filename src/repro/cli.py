@@ -297,7 +297,7 @@ def _builtin_sim_source(name: str) -> str:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    from .facile.analysis import check_file, run_check
+    from .facile.analysis import check_file, check_model_file, run_check
 
     only = set(args.only) if args.only else None
     reports = []
@@ -308,7 +308,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
             run_check(_builtin_sim_source(name), f"<builtin:{name}>", only=only)
         )
     for path in args.files:
-        reports.append(check_file(path, only=only))
+        # .py arguments are uarch model modules: protocol audit only.
+        if path.endswith(".py"):
+            reports.append(check_model_file(path))
+        else:
+            reports.append(check_file(path, only=only))
     if not reports:
         print("check: no inputs (pass files or --builtin)", file=sys.stderr)
         return 2
@@ -423,7 +427,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_minic)
 
     p = sub.add_parser("check", help="run static analysis over Facile sources")
-    p.add_argument("files", nargs="*", help="Facile source files to check")
+    p.add_argument(
+        "files", nargs="*",
+        help="Facile sources to check (.py files are audited as uarch "
+        "model modules against the native-dispatch protocol)",
+    )
     p.add_argument(
         "--builtin", choices=[*_BUILTIN_SIMS, "all"],
         help="also check a built-in simulator description",

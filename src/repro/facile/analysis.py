@@ -25,6 +25,11 @@ Passes are small functions registered with a stage:
     inserted; sees the flattened body and the :class:`Division`.
 ``post``
     After result-test insertion; invariant checks only.
+``ir``
+    Below the AST: after code generation, over the replay-IR bodies the
+    C backend would lower.  Bytecode verification (``FAC401``–``FAC405``),
+    lowerability lint with why-not provenance (``FAC410``/``FAC411``),
+    and the uarch module-protocol audit (``FAC5xx``).
 
 :func:`run_check` drives the whole pipeline over one source text and
 returns a :class:`CheckReport` (used by the ``repro check`` CLI and by
@@ -47,7 +52,15 @@ from .bta import (
 from .builtins import BUILTIN_FUNCS, QUEUE_ATTRS
 from .diagnostics import DiagnosticSink, Note
 from .inline import FlatMain, flatten_program
+from .ir_verify import (
+    NATIVE_EXTERN_NAMES,
+    audit_builtin_models,
+    audit_model_classes,
+    verify_body,
+    wrap_census,
+)
 from .parser import parse
+from .replay_ir import ExternTable, Unlowerable, compile_body
 from .patterns import PatternDef, pattern_shadowed_by, patterns_intersect
 from .sema import ProgramInfo, analyze
 from .source import FacileError, SourceBuffer, SourceSpan, UNKNOWN_SPAN
@@ -66,12 +79,17 @@ class AnalysisContext:
     flat: FlatMain | None = None
     division: Division | None = None
     n_inserted: int = -1
+    # Set only for "ir"-stage passes: the generated simulator whose
+    # replay bodies the IR tier verifies, plus a summary dict the ir
+    # passes fill in (copied onto CheckReport.ir by run_check).
+    compiled: object | None = None
+    ir: dict = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
 class AnalysisPass:
     name: str
-    stage: str  # "ast" | "bta" | "post"
+    stage: str  # "ast" | "bta" | "post" | "ir"
     run: Callable[[AnalysisContext, DiagnosticSink], None]
     description: str = ""
 
@@ -943,6 +961,158 @@ def _pass_cache_blowup(ctx: AnalysisContext, sink: DiagnosticSink) -> None:
             break
 
 
+# -- ir-stage passes: below the AST, over the replay-IR bodies ----------------
+
+
+def _ir_bodies(ctx: AnalysisContext):
+    """Compile every action body to replay IR once per report.
+
+    Returns ``(progs, failures, externs)`` where ``progs`` maps action
+    number -> :class:`BodyProgram` for bodies that lower, ``failures``
+    maps action number -> the :class:`Unlowerable` that pinned the body
+    to the Python tier, and ``externs`` is the table of extern names
+    interned while compiling (= externs reachable from replay bodies).
+
+    Bodies are probed with the canonical all-``'i'`` placeholder shape:
+    replay records with object-shaped data only change which store
+    opcode is emitted, never whether the body lowers.
+    """
+    cached = getattr(ctx, "_ir_bodies_cache", None)
+    if cached is not None:
+        return cached
+    compiled = ctx.compiled
+    assert compiled is not None
+    externs = ExternTable()
+    spans = getattr(compiled, "action_spans", [])
+    progs: dict[int, object] = {}
+    failures: dict[int, Unlowerable] = {}
+    for num, (lines, n_ph, is_verify) in enumerate(compiled.action_bodies):
+        span = spans[num] if num < len(spans) else UNKNOWN_SPAN
+        try:
+            progs[num] = compile_body(
+                num, lines, "i" * n_ph, is_verify, externs, span=span
+            )
+        except Unlowerable as exc:
+            failures[num] = exc
+    ctx._ir_bodies_cache = (progs, failures, externs)
+    return ctx._ir_bodies_cache
+
+
+def _ir_span(ctx: AnalysisContext, num: int) -> SourceSpan:
+    spans = getattr(ctx.compiled, "action_spans", [])
+    return spans[num] if num < len(spans) else UNKNOWN_SPAN
+
+
+@_register(
+    "ir-verify",
+    "ir",
+    "stack-effect/kind/bounds verifier over every compiled replay body",
+)
+def _pass_ir_verify(ctx: AnalysisContext, sink: DiagnosticSink) -> None:
+    """Abstract interpretation of each body's stack bytecode.
+
+    This is the same verdict :func:`ir_verify.assert_lowerable` enforces
+    in front of the C emitter at replay time; running it here means a
+    discipline violation surfaces as a ``repro check`` error before any
+    simulation is attempted.  The 64-bit wrap/guard census is not a
+    diagnostic — it lands in the report's ``ir`` summary so shipped
+    sources stay clean under ``--werror``.
+    """
+    compiled = ctx.compiled
+    assert compiled is not None
+    progs, _failures, externs = _ir_bodies(ctx)
+    census: dict[str, int] = {}
+    n_failed = 0
+    for num in sorted(progs):
+        prog = progs[num]
+        findings = verify_body(
+            prog, n_slots=compiled.slot_count, externs=externs
+        )
+        span = _ir_span(ctx, num)
+        for f in findings:
+            sink.emit(
+                f.code,
+                f.message,
+                span,
+                notes=tuple(Note(text) for text in f.notes),
+            )
+        if any(f.is_error for f in findings):
+            n_failed += 1
+        for key, n in wrap_census(prog).items():
+            census[key] = census.get(key, 0) + n
+    ctx.ir["bodies_verified"] = len(progs) - n_failed
+    ctx.ir["bodies_rejected"] = n_failed
+    ctx.ir["wrap_census"] = census
+
+
+@_register(
+    "ir-lowerability",
+    "ir",
+    "why-not provenance for bodies and externs pinned to the Python tier",
+)
+def _pass_ir_lowerability(ctx: AnalysisContext, sink: DiagnosticSink) -> None:
+    """FAC410/FAC411: nothing here is wrong, but the author should know
+    which parts of the simulator never reach the C tier and *why* —
+    mirroring the FAC201 why-dynamic provenance one tier down."""
+    compiled = ctx.compiled
+    assert compiled is not None
+    progs, failures, externs = _ir_bodies(ctx)
+    for num in sorted(failures):
+        exc = failures[num]
+        span = getattr(exc, "span", None) or _ir_span(ctx, num)
+        sink.emit(
+            "FAC410",
+            f"action body {num} stays on the Python replay backend",
+            span,
+            notes=(Note(f"lowering declined: {exc}"),),
+        )
+    for name in externs.names:
+        if name in NATIVE_EXTERN_NAMES:
+            continue
+        decl = ctx.info.externs.get(name)
+        span = decl.span if decl is not None else ctx.info.program.span
+        sink.emit(
+            "FAC411",
+            f"extern {name!r} always exits replay to the Python "
+            "callback path",
+            span,
+            notes=(
+                Note(
+                    "only "
+                    + ", ".join(sorted(NATIVE_EXTERN_NAMES))
+                    + " have in-kernel native dispatch; bind-time "
+                    "refusals are reported by cache_summary"
+                ),
+            ),
+        )
+    ctx.ir["bodies_python"] = len(failures)
+    ctx.ir["bodies_lowerable"] = len(progs)
+    ctx.ir["externs"] = list(externs.names)
+
+
+@_register(
+    "uarch-protocol",
+    "ir",
+    "uarch module-protocol conformance for natively dispatchable models",
+)
+def _pass_uarch_protocol(ctx: AnalysisContext, sink: DiagnosticSink) -> None:
+    """FAC5xx: audit the shipped model suite whenever the program can
+    reach the native extern registry.  A model that hides mutable state
+    outside ``state_arrays()`` or under-keys ``config_key()`` would
+    replay stale or mis-shared state through the kernel — the audit is
+    static, so the bug surfaces in ``repro check`` rather than as a
+    silently wrong simulation."""
+    _progs, _failures, externs = _ir_bodies(ctx)
+    if not any(name in NATIVE_EXTERN_NAMES for name in externs.names):
+        return
+    span = ctx.info.program.span
+    for f in audit_builtin_models():
+        sink.emit(
+            f.code, f.message, span,
+            notes=tuple(Note(text) for text in f.notes),
+        )
+
+
 # -- the check driver ----------------------------------------------------------
 
 
@@ -959,6 +1129,10 @@ class CheckReport:
     info: ProgramInfo | None = None
     flat: FlatMain | None = None
     division: Division | None = None
+    # IR-tier summary (filled by the "ir" passes): bodies verified /
+    # rejected / kept on Python, reachable externs, and the 64-bit
+    # wrap/guard op census.  Empty when the ir stage did not run.
+    ir: dict = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -1003,6 +1177,7 @@ class CheckReport:
             "passes": list(self.passes),
             "n_dynamic_result_tests": self.n_dynamic_result_tests,
             "diagnostics": [d.to_json() for d in self.sink.sorted()],
+            "ir": dict(self.ir),
         }
 
 
@@ -1050,6 +1225,26 @@ def run_check(
     ctx.n_inserted = insert_dynamic_result_tests(flat, division)
     report.n_dynamic_result_tests = ctx.n_inserted
     report.passes += run_passes("post", ctx, sink, only)
+    if sink.has_errors:
+        return report
+
+    # The ir stage looks below the AST: it needs the generated
+    # simulator's replay bodies, so the check driver runs codegen itself
+    # (run_check is otherwise codegen-free).  Pure Python throughout —
+    # the verdicts are identical with or without a C toolchain.
+    ir_names = {p.name for p in PASSES if p.stage == "ir"}
+    if only is None or (only & ir_names):
+        from .codegen import CodeGenerator
+
+        try:
+            ctx.compiled = CodeGenerator(division, name=filename).build(
+                with_plain=False
+            )
+        except FacileError as exc:
+            sink.absorb(exc)
+            return report
+        report.passes += run_passes("ir", ctx, sink, only)
+        report.ir = dict(ctx.ir)
     return report
 
 
@@ -1064,3 +1259,47 @@ def check_file(path: str, only: set[str] | None = None) -> CheckReport:
         sink.emit("FAC030", f"cannot read {path}: {exc.strerror or exc}", severity="error")
         return report
     return run_check(source, filename=path, only=only)
+
+
+def check_model_file(path: str) -> CheckReport:
+    """Protocol-audit every uarch model class defined in a Python file.
+
+    ``repro check`` routes ``.py`` arguments here: the file is executed
+    in an isolated namespace and every class it *defines* (not imports)
+    that exposes the module protocol surface — ``config_key`` plus
+    ``state_arrays`` — is instantiated and audited (FAC5xx).  Files
+    that fail to execute are fatal, mirroring unreadable sources.
+    """
+    sink = DiagnosticSink()
+    report = CheckReport(path, sink)
+    try:
+        with open(path) as fh:
+            source = fh.read()
+    except OSError as exc:
+        report.fatal = True
+        sink.emit("FAC030", f"cannot read {path}: {exc.strerror or exc}", severity="error")
+        return report
+    namespace: dict = {"__name__": f"facile_model_audit_{abs(hash(path))}"}
+    try:
+        exec(compile(source, path, "exec"), namespace)
+    except Exception as exc:
+        report.fatal = True
+        sink.emit(
+            "FAC030",
+            f"cannot execute {path}: {exc.__class__.__name__}: {exc}",
+            severity="error",
+        )
+        return report
+    classes = [
+        obj
+        for obj in namespace.values()
+        if isinstance(obj, type)
+        and getattr(obj, "__module__", None) == namespace["__name__"]
+        and callable(getattr(obj, "config_key", None))
+        and callable(getattr(obj, "state_arrays", None))
+    ]
+    for f in audit_model_classes(classes):
+        sink.emit(f.code, f.message, notes=tuple(Note(t) for t in f.notes))
+    report.passes.append("uarch-protocol")
+    report.ir["model_classes_audited"] = len(classes)
+    return report

@@ -44,7 +44,7 @@ from .bta import (
 from .builtins import BUILTIN_FUNCS, PURE_ATTRS, QUEUE_ATTRS, RUNTIME_HELPERS, STREAM_ATTRS
 from .patterns import generate_decoder_source
 from .runtime import CompiledSimulator, freeze
-from .source import SemanticError
+from .source import SemanticError, SourceSpan, UNKNOWN_SPAN
 
 _BINOP_PY = {
     "+": "+",
@@ -81,6 +81,9 @@ class _Action:
     is_verify: bool
     body_lines: list[str] = field(default_factory=list)
     n_placeholders: int = 0
+    # Span of the first source statement merged into this action, so
+    # lowering diagnostics (Unlowerable, FAC4xx) can point at source.
+    span: SourceSpan = UNKNOWN_SPAN
 
 
 class _Emitter:
@@ -455,7 +458,8 @@ class CodeGenerator:
         for name, src in placeholders:
             em.line(f"{name} = {src}")
 
-    def _buffer_dynamic(self, em: _Emitter, build) -> int:
+    def _buffer_dynamic(self, em: _Emitter, build,
+                        span: SourceSpan = UNKNOWN_SPAN) -> int:
         """Add one dynamic statement to the pending action.
 
         `build` receives a placeholder list (offset to continue the
@@ -463,6 +467,8 @@ class CodeGenerator:
         line, shared verbatim by both engines.
         """
         action = self._pending_action()
+        if not action.span.is_known and span.is_known:
+            action.span = span
         placeholders: list[tuple[str, str]] = []
         offset = self._pending_ph_count
         line = build(placeholders, offset)
@@ -641,7 +647,7 @@ class CodeGenerator:
                 lhs = f"_S[{self.slots[base_name]}][{idx}]"
             return f"{lhs} = {rhs}"
 
-        return self._buffer_dynamic(em, build)
+        return self._buffer_dynamic(em, build, span=stmt.span)
 
     def _emit_expr_stmt(self, stmt: A.ExprStmt, em: _Emitter) -> int:
         expr = stmt.expr
@@ -657,14 +663,16 @@ class CodeGenerator:
             self._ph_base = offset
             return self._dyn_expr(expr, placeholders)
 
-        return self._buffer_dynamic(em, build)
+        return self._buffer_dynamic(em, build, span=stmt.span)
 
     def _emit_verify(self, target: A.Name, base: A.Expr, em: _Emitter, stmt: A.Stmt) -> int:
         count = self._flush_pending(em)
         placeholders: list[tuple[str, str]] = []
         self._ph_base = 0
         src = self._dyn_expr(base, placeholders)
-        action = self._new_action(is_verify=True, n_placeholders=len(placeholders))
+        action = self._new_action(
+            is_verify=True, n_placeholders=len(placeholders), span=stmt.span
+        )
         lhs = self._var_ref(target.ident, plain=False)
         if self.division.var_bt(target.ident) == DYNAMIC:
             # The verified value is also consumed by dynamic code, so the
@@ -690,8 +698,12 @@ class CodeGenerator:
         em.indent -= 1
         return count + 4
 
-    def _new_action(self, is_verify: bool, n_placeholders: int) -> _Action:
-        action = _Action(len(self.actions), is_verify, n_placeholders=n_placeholders)
+    def _new_action(self, is_verify: bool, n_placeholders: int,
+                    span: SourceSpan = UNKNOWN_SPAN) -> _Action:
+        action = _Action(
+            len(self.actions), is_verify, n_placeholders=n_placeholders,
+            span=span,
+        )
         self.actions.append(action)
         return action
 
@@ -725,7 +737,9 @@ class CodeGenerator:
                     return f"_S[{slot}] = _deque({ph})"
                 return f"_S[{slot}] = {ph}"
 
-            self._buffer_dynamic(em, build)
+            # Flush actions are synthesized (no single owning statement);
+            # point them at the program header.
+            self._buffer_dynamic(em, build, span=self.info.program.span)
 
     # -- fast engine -----------------------------------------------------------
 
@@ -909,6 +923,7 @@ class CodeGenerator:
                 (list(a.body_lines), a.n_placeholders, a.is_verify)
                 for a in self.actions
             ],
+            action_spans=[a.span for a in self.actions],
             namespace=namespace,
         )
 

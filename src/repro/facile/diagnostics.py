@@ -73,7 +73,9 @@ def _registry(entries: list[tuple[str, str, str]]) -> dict[str, CodeInfo]:
 
 #: Every diagnostic the compiler and the analysis passes can produce.
 #: FAC0xx: front-end errors.  FAC1xx: flow/liveness lints.  FAC2xx: the
-#: BTA-soundness audit.  FAC3xx: the cache-blowup predictor.
+#: BTA-soundness audit.  FAC3xx: the cache-blowup predictor.  FAC4xx:
+#: the replay-IR verifier and lowerability lint.  FAC5xx: the uarch
+#: module-protocol conformance audit.
 CODES: dict[str, CodeInfo] = _registry([
     ("FAC001", ERROR, "malformed lexeme"),
     ("FAC002", ERROR, "syntax error"),
@@ -101,7 +103,59 @@ CODES: dict[str, CodeInfo] = _registry([
     ("FAC203", ERROR, "dynamic-steered control flow left unpinned after insertion"),
     ("FAC301", WARNING, "unbounded-domain rt-static key component"),
     ("FAC302", WARNING, "rt-static loop trip count depends on the key"),
+    ("FAC401", ERROR, "replay-IR stack discipline violation"),
+    ("FAC402", ERROR, "malformed replay-IR bytecode"),
+    ("FAC403", ERROR, "replay-IR operand-kind violation"),
+    ("FAC404", ERROR, "replay-IR operand or index out of range"),
+    ("FAC405", WARNING, "provably divergent 64-bit semantics between backends"),
+    ("FAC410", INFO, "action body stays on the Python replay backend"),
+    ("FAC411", INFO, "extern stays on the Python callback path"),
+    ("FAC501", WARNING, "uarch model array state missing from state_arrays()"),
+    ("FAC502", WARNING, "uarch model keeps mutable state outside the protocol"),
+    ("FAC503", WARNING, "uarch config_key() misses a behavior-changing parameter"),
+    ("FAC504", WARNING, "uarch module-protocol surface is malformed"),
 ])
+
+#: One short illustrative trigger per code, for docs/DIAGNOSTICS.md.
+CODE_EXAMPLES: dict[str, str] = {
+    "FAC001": "val x = 0q7;  // no such integer literal",
+    "FAC002": "fun main( { }",
+    "FAC010": "fun main(pc) { init = nope; }",
+    "FAC011": "val x; val x;",
+    "FAC012": "fun popcount(v) { }",
+    "FAC013": "fun f(a, b) { } fun main(pc) { f(1); }",
+    "FAC014": "val y = token ? no_such_field;",
+    "FAC015": "fun f(n) { return f(n); }",
+    "FAC016": "fun main(pc) { break; }",
+    "FAC017": "fun main(pc) { 3 = pc; }",
+    "FAC018": "pat p = 1;  // pattern must constrain token fields",
+    "FAC019": "val init;  // no 'main' step function",
+    "FAC030": "internal or unsupported construct reached the back end",
+    "FAC101": "val x; if (pc) { x = 1; } val y = x;",
+    "FAC102": "fun never_called() { }",
+    "FAC103": "sem after an unconditional branch",
+    "FAC104": "val unused_global;",
+    "FAC105": "val stat; fun main(pc) { stat = stat + 1; init = pc; }",
+    "FAC110": "pat a = op==1; pat also_a = op==1;  // second arm dead",
+    "FAC111": "pat wide = op>0; pat narrow = op==3;",
+    "FAC200": "audit found a dynamic value in an rt-static position",
+    "FAC201": "init = read8(addr);  // dynamic value reaches the key",
+    "FAC202": "if (read8(pc)) { cycles = cycles + 1; }",
+    "FAC203": "insertion left a dynamic branch unpinned (internal audit)",
+    "FAC301": "init = init + 4;  // key never revisits a value",
+    "FAC302": "while (i < key_param) { ... }  // per-key unrolling",
+    "FAC401": "bytecode END reached with values still on the stack",
+    "FAC402": "jump target 7 misaligned or out of range",
+    "FAC403": "object placeholder used in computation",
+    "FAC404": "slot index 91 outside [0, 64)",
+    "FAC405": "x << 64  // kernel raises E_SHIFT, Python keeps shifting",
+    "FAC410": "log_value(pc);  // host-object traffic, chain stays Python",
+    "FAC411": "extern bound to a model the native registry cannot match",
+    "FAC501": "self.table = array('q', ...) not listed in state_arrays()",
+    "FAC502": "self.history = []  # mutable list outside the protocol",
+    "FAC503": "config_key() ignores the 'entries' constructor parameter",
+    "FAC504": "state_arrays() returned a list, not a name -> array dict",
+}
 
 
 @dataclass(frozen=True)
@@ -310,3 +364,99 @@ class DiagnosticSink:
         """
         if self.has_errors:
             raise DiagnosticError(self.diagnostics)
+
+
+# -- the generated code index (docs/DIAGNOSTICS.md) -------------------------
+
+_RANGE_TITLES = [
+    ("FAC0", "Front-end errors"),
+    ("FAC1", "Flow and liveness lints"),
+    ("FAC2", "BTA-soundness audit"),
+    ("FAC3", "Cache-blowup predictor"),
+    ("FAC4", "Replay-IR verifier and lowerability lint"),
+    ("FAC5", "Uarch module-protocol conformance"),
+]
+
+
+def render_code_index() -> str:
+    """The full FACnnn index as markdown, generated from the registry.
+
+    ``docs/DIAGNOSTICS.md`` is this text verbatim; CI regenerates it and
+    fails when the checked-in copy is stale (``python -m
+    repro.facile.diagnostics --check docs/DIAGNOSTICS.md``).
+    """
+    lines = [
+        "# Diagnostic codes",
+        "",
+        "<!-- GENERATED FILE - do not edit by hand.",
+        "     Regenerate with:",
+        "       python -m repro.facile.diagnostics --write docs/DIAGNOSTICS.md -->",
+        "",
+        "Every diagnostic `repro check` and the compiler can emit, generated",
+        "from the registry in `src/repro/facile/diagnostics.py`.  Errors are",
+        "never suppressible and exit 1; warnings exit 1 under `--werror`;",
+        "infos never affect the exit code.  Warnings and infos can be",
+        "silenced in source with `// fac: disable=CODE` comments.",
+        "",
+    ]
+    for prefix, title in _RANGE_TITLES:
+        codes = [c for c in sorted(CODES) if c.startswith(prefix)]
+        if not codes:
+            continue
+        lines += [f"## {title} ({prefix}xx)", ""]
+        lines += ["| code | severity | description | example |",
+                  "|------|----------|-------------|---------|"]
+        for code in codes:
+            info = CODES[code]
+            example = CODE_EXAMPLES.get(code, "")
+            example = example.replace("|", "\\|")
+            lines.append(
+                f"| {code} | {info.severity} | {info.title} | `{example}` |"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _main(argv: list[str] | None = None) -> int:  # pragma: no cover - CLI
+    import argparse
+    import sys
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.facile.diagnostics",
+        description="render or freshness-check the FACnnn code index",
+    )
+    ap.add_argument("--write", metavar="PATH",
+                    help="write the generated index to PATH")
+    ap.add_argument("--check", metavar="PATH",
+                    help="exit 1 if PATH differs from the generated index")
+    args = ap.parse_args(argv)
+    text = render_code_index() + "\n"
+    if args.write:
+        with open(args.write, "w") as fh:
+            fh.write(text)
+        return 0
+    if args.check:
+        try:
+            with open(args.check) as fh:
+                on_disk = fh.read()
+        except OSError as exc:
+            print(f"diagnostics index: cannot read {args.check}: {exc}",
+                  file=sys.stderr)
+            return 1
+        if on_disk != text:
+            print(
+                f"diagnostics index: {args.check} is stale — regenerate "
+                "with python -m repro.facile.diagnostics --write "
+                f"{args.check}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(_main())

@@ -63,6 +63,23 @@ def explain_check(report: CheckReport) -> str:
         f" ({counts['error']} error(s), {counts['warning']} warning(s),"
         f" {counts['info']} info(s), {len(report.sink.suppressed)} suppressed)"
     )
+    ir = report.ir
+    if ir:
+        lines.append(
+            f"  ir tier: {ir.get('bodies_lowerable', 0)} replay bodies "
+            f"lower to the C tier, {ir.get('bodies_python', 0)} stay "
+            f"Python, {ir.get('bodies_rejected', 0)} rejected by the "
+            "verifier"
+        )
+        externs = ir.get("externs") or []
+        if externs:
+            lines.append(f"  ir externs: {', '.join(externs)}")
+        census = ir.get("wrap_census") or {}
+        if census:
+            ops = ", ".join(
+                f"{op}×{n}" for op, n in sorted(census.items())
+            )
+            lines.append(f"  64-bit wrap/guard op census: {ops}")
     body = report.render_text()
     return "\n".join(lines) + ("\n" + body if body else "")
 
@@ -187,6 +204,12 @@ def cache_summary(cache: ActionCache, engine=None) -> str:
                 f"{ns['runs']:,} kernel runs, "
                 f"{ns['python_fallbacks']:,} python fallbacks"
             )
+            # Why-not provenance: each distinct Unlowerable reason the
+            # verifier/lowering gate recorded, with occurrence counts.
+            for reason, n in sorted(
+                ns.get("unlowerable_reasons", {}).items()
+            )[:8]:
+                lines.append(f"    unlowerable ×{n}: {reason}")
             counts = getattr(native, "extern_counts", None)
             if counts is not None:
                 by_name = counts()
@@ -196,6 +219,7 @@ def cache_summary(cache: ActionCache, engine=None) -> str:
                     f"  externs:          {n_native:,} native / "
                     f"{n_python:,} python"
                 )
+                whynot = ns.get("extern_whynot", {})
                 for name, c in sorted(by_name.items()):
                     kind = (
                         "native" if c["native"] and not c["python"]
@@ -206,6 +230,9 @@ def cache_summary(cache: ActionCache, engine=None) -> str:
                         f"    {name:<14} {c['native']:>12,} native "
                         f"{c['python']:>10,} python  [{kind}]"
                     )
+                    why = whynot.get(name)
+                    if why and kind != "native":
+                        lines.append(f"      why not native: {why}")
     return "\n".join(lines)
 
 

@@ -120,7 +120,17 @@ _I64_MIN, _I64_MAX = -(1 << 63), (1 << 63) - 1
 
 
 class Unlowerable(Exception):
-    """An action body (or chain) falls outside the replay IR."""
+    """An action body (or chain) falls outside the replay IR.
+
+    ``span`` is the source span of the owning action's statement when
+    the caller threaded one through (``compile_body(..., span=...)`` /
+    ``plan_chain(..., action_spans=...)``), so lowerability diagnostics
+    can render caret blocks instead of ``<unknown>`` locations.
+    """
+
+    def __init__(self, message: str, span=None):
+        super().__init__(message)
+        self.span = span
 
 
 class BodyProgram:
@@ -218,17 +228,18 @@ class _Emit:
 
 class _BodyCompiler:
     def __init__(self, num: int, shapes: str, is_verify: bool,
-                 externs: ExternTable):
+                 externs: ExternTable, span=None):
         self.num = num
         self.shapes = shapes
         self.is_verify = is_verify
         self.externs = externs
+        self.span = span
         self.e = _Emit()
         self.locals: dict[str, int] = {}
         self.uses_extern = False
 
     def fail(self, why: str) -> Unlowerable:
-        return Unlowerable(f"action {self.num}: {why}")
+        return Unlowerable(f"action {self.num}: {why}", span=self.span)
 
     # -- expressions (each pushes exactly one value; returns 'i'/'o') ----
 
@@ -510,26 +521,29 @@ class _BodyCompiler:
 
 
 def compile_body(num: int, body_lines: list[str], shapes: str,
-                 is_verify: bool, externs: ExternTable) -> BodyProgram:
+                 is_verify: bool, externs: ExternTable,
+                 span=None) -> BodyProgram:
     """Compile one generated action body to body IR.
 
-    Raises :class:`Unlowerable` (with the offending construct named)
-    when the body falls outside the IR; the caller keeps that chain on
-    the Python backend.
+    Raises :class:`Unlowerable` (with the offending construct named,
+    and carrying ``span`` when given) when the body falls outside the
+    IR; the caller keeps that chain on the Python backend.
     """
     source = "\n".join(body_lines)
     try:
         tree = ast.parse(source)
     except SyntaxError as exc:  # pragma: no cover - generated code parses
-        raise Unlowerable(f"action {num}: unparsable body ({exc})") from None
-    c = _BodyCompiler(num, shapes, is_verify, externs)
+        raise Unlowerable(
+            f"action {num}: unparsable body ({exc})", span=span) from None
+    c = _BodyCompiler(num, shapes, is_verify, externs, span=span)
     for node in tree.body:
         c.stmt(node)
     if is_verify and (not c.e.code or c.e.code[-2] != OP_RETURN):
-        raise Unlowerable(f"action {num}: verify body missing return")
+        raise Unlowerable(
+            f"action {num}: verify body missing return", span=span)
     c.e.op(OP_END)
     if c.e.max_depth > MAX_STACK:
-        raise Unlowerable(f"action {num}: expression too deep")
+        raise Unlowerable(f"action {num}: expression too deep", span=span)
     return BodyProgram(
         num, c.e.code, len(c.locals), c.e.max_depth, shapes, is_verify,
         c.uses_extern, source,
@@ -566,16 +580,23 @@ class ChainPlan:
 
 
 def plan_chain(chain, action_bodies: list, externs: ExternTable,
-               prog_cache: dict) -> ChainPlan:
+               prog_cache: dict, action_spans: list | None = None) -> ChainPlan:
     """Lower one :class:`~repro.facile.runtime.PackedChain` to chain IR.
 
     Reads the canonical ``nums``/``data``/``succ`` lanes (private
     arrays or mmap-backed memoryviews alike) and the interning pool;
     body programs are compiled once per ``(action, shapes)`` and cached
     in ``prog_cache``.  Raises :class:`Unlowerable` when any slot's
-    body falls outside the IR.
+    body falls outside the IR; with ``action_spans`` (the compiler's
+    per-action source spans) the exception carries the owning action's
+    span for caret rendering.
     """
     from .runtime import ENDMARK
+
+    def span_of(num: int):
+        if action_spans is not None and 0 <= num < len(action_spans):
+            return action_spans[num]
+        return None
 
     nums = chain.nums
     dstream = chain.data
@@ -598,8 +619,10 @@ def plan_chain(chain, action_bodies: list, externs: ExternTable,
                 raise Unlowerable(f"action {num}: no recorded body")
             lines, n_ph, body_verify = action_bodies[num]
             if n_ph != len(shapes) or body_verify != is_verify:
-                raise Unlowerable(f"action {num}: data/body shape mismatch")
-            prog = compile_body(num, lines, shapes, is_verify, externs)
+                raise Unlowerable(f"action {num}: data/body shape mismatch",
+                                  span=span_of(num))
+            prog = compile_body(num, lines, shapes, is_verify, externs,
+                                span=span_of(num))
             prog_cache[key] = prog
         return prog
 
@@ -620,7 +643,8 @@ def plan_chain(chain, action_bodies: list, externs: ExternTable,
                 data.append(int(v))
             elif type(v) is int:
                 if not _I64_MIN <= v <= _I64_MAX:
-                    raise Unlowerable(f"action {num}: data value exceeds i64")
+                    raise Unlowerable(f"action {num}: data value exceeds i64",
+                                      span=span_of(num))
                 data.append(v)
             else:
                 data.append(v)

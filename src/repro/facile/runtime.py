@@ -1290,6 +1290,11 @@ class CompiledSimulator:
     # (body_lines, n_placeholders, is_verify).  Bodies reference _ctx,
     # _S, and _ph<K> placeholder names, same as the fast-action table.
     action_bodies: list = field(default_factory=list)
+    # Parallel per-action source spans (the first statement merged into
+    # each action), threaded into plan_chain/compile_body so lowering
+    # diagnostics can point at source.  May be empty for hand-built
+    # simulators; consumers must index defensively.
+    action_spans: list = field(default_factory=list)
     # The exec globals the engine sources were compiled against; trace
     # functions are compiled against (a copy of) the same namespace so
     # spliced bodies resolve helpers identically.

@@ -34,6 +34,16 @@ Scalar state (gshare history, RAS depth-in-use) lives in a one-element
 recorded natively accumulate as deltas in a ``stats_delta`` array and
 are drained into the Python dataclasses at kernel sync points
 (:meth:`FrontEndPredictor.drain_stats`).
+
+Conformance to this protocol is checked statically:
+``repro check --builtin all`` audits every class here (FAC501 for
+``array('q')`` state missing from ``state_arrays()``, FAC502 for
+mutable Python containers outside the protocol, FAC503 for
+``config_key()`` under-keying a constructor parameter — see
+:mod:`repro.facile.ir_verify`).  A model that breaks the protocol is
+not an error at run time: the native registry simply refuses it and
+the extern stays on the Python callback path, with the reason
+reported by ``cache_summary`` (``why not native: ...``).
 """
 
 from __future__ import annotations

@@ -25,6 +25,14 @@ compact (line, ready-cycle) pair of arrays with swap-removal — retire
 order is irrelevant to the model, which only asks membership and min.
 Natively-counted statistics accumulate in ``stats_delta`` and drain
 into the per-level :class:`CacheStats` at kernel sync points.
+
+The protocol is audited statically by ``repro check`` (FAC5xx, see
+:mod:`repro.facile.ir_verify`): every reachable ``array('q')`` must
+appear in ``state_arrays()`` by identity and ``config_key()`` must
+cover every behavior-changing :class:`HierarchyConfig` field; a
+nonconformant hierarchy is refused by the native registry at bind
+time (the extern keeps the Python path) with the reason surfaced in
+``cache_summary``.
 """
 
 from __future__ import annotations

@@ -1,0 +1,33 @@
+"""Seeded violation: a branch predictor that keeps its per-branch
+history in a Python list.  The list is invisible to ``state_arrays()``,
+so a native (in-kernel) run would update only the counter table while
+the history silently goes stale.  Expected: FAC502.
+
+Audited by ``repro check tests/facile_violations/nonconformant_model.py``.
+"""
+
+from array import array
+
+
+class HistoryListPredictor:
+    """Two-bit counters in a protocol buffer, history outside it."""
+
+    def __init__(self, entries=64):
+        self.entries = entries
+        self.table = array("q", [1]) * entries
+        self.history = []  # mutable state the protocol never sees
+
+    def config_key(self):
+        return ("historylist", self.entries)
+
+    def state_arrays(self):
+        return {"table": self.table}
+
+    def predict(self, pc):
+        return self.table[pc & (self.entries - 1)] >= 2
+
+    def update(self, pc, taken):
+        i = pc & (self.entries - 1)
+        self.history.append((pc, taken))
+        c = self.table[i]
+        self.table[i] = min(3, c + 1) if taken else max(0, c - 1)

@@ -1,0 +1,695 @@
+"""Replay-IR verifier, lowering lint, and uarch protocol audit tests.
+
+The contract under test (ISSUE: repro check below the AST): every body
+the C emitter accepts passes the verifier; verifier-rejected bytecode
+never reaches the emitter (``assert_lowerable`` raises); verifier-clean
+bodies execute under ``interpret_body`` without stack/local/slot
+faults and agree bit-for-bit with the Python source they were compiled
+from.  All verdicts are pure Python — identical with or without a C
+toolchain.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cli import main
+from repro.facile.analysis import check_model_file, run_check
+from repro.facile.diagnostics import CODES, CODE_EXAMPLES, render_code_index
+from repro.facile.ir_verify import (
+    KERNEL_MAX_SLOTS,
+    NATIVE_EXTERN_NAMES,
+    assert_lowerable,
+    audit_builtin_models,
+    audit_config_key,
+    audit_model,
+    builtin_model_suite,
+    verify_body,
+    verify_plan,
+    wrap_census,
+)
+from repro.facile.replay_ir import (
+    K_ACTION,
+    K_END,
+    K_VERIFY_EQ,
+    BodyProgram,
+    ChainPlan,
+    ExternTable,
+    OP_ADD,
+    OP_CONST,
+    OP_END,
+    OP_EXTERN,
+    OP_IDIV,
+    OP_JMP,
+    OP_JZ,
+    OP_LOCAL,
+    OP_PH,
+    OP_RETURN,
+    OP_SHL,
+    OP_SLOT,
+    OP_STAT_COUNT,
+    OP_STORE_LOCAL,
+    OP_STORE_SLOT,
+    OP_STORE_SLOT_OBJ,
+    Unlowerable,
+    compile_body,
+    interpret_body,
+)
+
+FIXTURES = pathlib.Path(__file__).parent / "facile_violations"
+
+
+def _body(lines, shapes="", is_verify=False, externs=None):
+    return compile_body(
+        0, list(lines), shapes, is_verify, externs or ExternTable()
+    )
+
+
+def _raw(code, n_locals=0, max_stack=8, shapes="", is_verify=False):
+    """Hand-built (possibly corrupt) bytecode, bypassing compile_body."""
+    return BodyProgram(0, code, n_locals, max_stack, shapes, is_verify,
+                       False, "")
+
+
+def _codes(findings):
+    return sorted(f.code for f in findings)
+
+
+class _NullCtx:
+    mem = None
+
+
+# ---------------------------------------------------------------------------
+# Verifier accepts everything the body compiler emits
+# ---------------------------------------------------------------------------
+
+
+class TestVerifierAcceptsCompiled:
+    @pytest.mark.parametrize("lines,shapes,is_verify", [
+        (["_S[0] = (_ph0 + 7) * 3 - (_ph0 >> 2)"], "i", False),
+        (["_S[0] = idiv(_S[1], _ph0) if _ph0 != 0 else -1"], "i", False),
+        (["return 1 if _S[0] < _ph0 else 0"], "i", True),
+        (["_t = _ph0 * 3", "_S[1] = _t if _t > 10 else -_t"], "i", False),
+        (["_S[2] = min(max(_ph0, 3), 60) + popcount(_ph1)"], "ii", False),
+        (["_S[0] = _ph0"], "o", False),  # object store via STORE_SLOT_OBJ
+    ])
+    def test_compiled_bodies_verify_clean(self, lines, shapes, is_verify):
+        prog = _body(lines, shapes, is_verify)
+        errors = [f for f in verify_body(prog, n_slots=8) if f.is_error]
+        assert errors == []
+
+    def test_extern_call_verifies_with_its_table(self):
+        externs = ExternTable()
+        prog = compile_body(
+            0, ["_S[0] = _ctx.call_extern('probe', _ph0)"], "i", False,
+            externs)
+        assert prog.uses_extern
+        errors = [
+            f for f in verify_body(prog, n_slots=4, externs=externs)
+            if f.is_error
+        ]
+        assert errors == []
+
+    def test_every_builtin_sim_body_verifies(self):
+        from repro.cli import _BUILTIN_SIMS, _builtin_sim_source
+        from repro.facile.compiler import compile_source
+
+        for name in _BUILTIN_SIMS:
+            sim = compile_source(_builtin_sim_source(name)).simulator
+            externs = ExternTable()
+            for num, (lines, n_ph, is_verify) in enumerate(sim.action_bodies):
+                prog = compile_body(num, lines, "i" * n_ph, is_verify,
+                                    externs)
+                findings = verify_body(
+                    prog, n_slots=sim.slot_count, externs=externs)
+                assert [f for f in findings if f.is_error] == [], (
+                    name, num, findings)
+
+
+# ---------------------------------------------------------------------------
+# Verifier rejects corrupted bytecode — each code fires
+# ---------------------------------------------------------------------------
+
+
+class TestVerifierRejectsCorrupted:
+    def test_stack_underflow_fac401(self):
+        fs = verify_body(_raw([OP_ADD, 0, OP_END, 0]))
+        assert "FAC401" in _codes(fs)
+
+    def test_unbalanced_end_fac401(self):
+        fs = verify_body(_raw([OP_CONST, 1, OP_END, 0]))
+        assert "FAC401" in _codes(fs)
+
+    def test_understated_max_stack_fac401(self):
+        prog = _raw(
+            [OP_CONST, 1, OP_CONST, 2, OP_ADD, 0, OP_STORE_SLOT, 0,
+             OP_END, 0],
+            max_stack=1,
+        )
+        assert "FAC401" in _codes(verify_body(prog, n_slots=4))
+
+    def test_backward_jump_fac402(self):
+        assert "FAC402" in _codes(verify_body(_raw([OP_JMP, 0, OP_END, 0])))
+
+    def test_odd_length_code_fac402(self):
+        assert "FAC402" in _codes(verify_body(_raw([OP_CONST, 1, OP_END])))
+
+    def test_missing_end_fac402(self):
+        assert "FAC402" in _codes(
+            verify_body(_raw([OP_CONST, 1, OP_STORE_SLOT, 0]))
+        )
+
+    def test_return_outside_verify_fac402(self):
+        fs = verify_body(_raw([OP_CONST, 1, OP_RETURN, 0, OP_END, 0]))
+        assert "FAC402" in _codes(fs)
+
+    def test_verify_body_that_cannot_return_fac402(self):
+        fs = verify_body(_raw([OP_END, 0], is_verify=True))
+        assert "FAC402" in _codes(fs)
+
+    def test_uninitialized_local_fac403(self):
+        prog = _raw([OP_LOCAL, 0, OP_STORE_SLOT, 0, OP_END, 0], n_locals=1)
+        assert "FAC403" in _codes(verify_body(prog, n_slots=4))
+
+    def test_object_into_arithmetic_fac403(self):
+        prog = _raw(
+            [OP_PH, 0, OP_CONST, 1, OP_ADD, 0, OP_STORE_SLOT, 0, OP_END, 0],
+            shapes="o",
+        )
+        assert "FAC403" in _codes(verify_body(prog, n_slots=4))
+
+    def test_int_into_object_store_fac403(self):
+        prog = _raw([OP_CONST, 5, OP_STORE_SLOT_OBJ, 0, OP_END, 0])
+        assert "FAC403" in _codes(verify_body(prog, n_slots=4))
+
+    def test_slot_out_of_range_fac404(self):
+        prog = _raw([OP_CONST, 1, OP_STORE_SLOT, 99, OP_END, 0])
+        assert "FAC404" in _codes(verify_body(prog, n_slots=8))
+
+    def test_slot_beyond_kernel_limit_fac404(self):
+        prog = _raw(
+            [OP_CONST, 1, OP_STORE_SLOT, KERNEL_MAX_SLOTS, OP_END, 0])
+        # No n_slots hint: the kernel's own array bound still applies.
+        assert "FAC404" in _codes(verify_body(prog))
+
+    def test_placeholder_out_of_range_fac404(self):
+        prog = _raw([OP_PH, 2, OP_STORE_SLOT, 0, OP_END, 0], shapes="i")
+        assert "FAC404" in _codes(verify_body(prog, n_slots=4))
+
+    def test_uninterned_extern_fac404(self):
+        prog = _raw(
+            [OP_CONST, 1, OP_EXTERN, 7 * 256 + 1, OP_STORE_SLOT, 0,
+             OP_END, 0])
+        assert "FAC404" in _codes(verify_body(prog, externs=ExternTable()))
+
+    def test_jump_target_out_of_range_fac402(self):
+        prog = _raw([OP_CONST, 1, OP_JZ, 99, OP_END, 0])
+        assert "FAC402" in _codes(verify_body(prog))
+
+
+class TestWrapAudit:
+    def test_constant_overshift_fac405(self):
+        prog = _raw(
+            [OP_CONST, 1, OP_CONST, 70, OP_SHL, 0, OP_STORE_SLOT, 0,
+             OP_END, 0])
+        fs = verify_body(prog, n_slots=4)
+        assert _codes(fs) == ["FAC405"]
+        assert all(not f.is_error for f in fs)
+
+    def test_constant_zero_divisor_fac405(self):
+        prog = _raw(
+            [OP_CONST, 1, OP_CONST, 0, OP_IDIV, 0, OP_STORE_SLOT, 0,
+             OP_END, 0])
+        assert "FAC405" in _codes(verify_body(prog, n_slots=4))
+
+    def test_constant_counter_key_out_of_table_fac405(self):
+        prog = _raw(
+            [OP_CONST, 999, OP_CONST, 1, OP_STAT_COUNT, 0, OP_END, 0])
+        assert "FAC405" in _codes(verify_body(prog))
+
+    def test_in_range_constants_are_silent(self):
+        prog = _body(["_S[0] = (_ph0 << 3) + idiv(_ph0, 5)"], "i")
+        assert verify_body(prog, n_slots=4) == []
+
+    def test_census_counts_guarded_and_wrapping_ops(self):
+        prog = _body(["_S[0] = (_ph0 << 2) + _ph0 * 3 - idiv(_ph0, 7)"], "i")
+        census = wrap_census(prog)
+        assert census["SHL"] == 1
+        assert census["IDIV"] == 1
+        assert census["ADD"] == 1
+        assert census["SUB"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Chain-plan verifier and the emitter gate
+# ---------------------------------------------------------------------------
+
+
+def _plan(progs, kinds, doffs=None, aux=None, data=(), tables=(),
+          end_records=(object(),)):
+    plan = ChainPlan()
+    plan.n = len(kinds)
+    plan.kinds = bytearray(kinds)
+    plan.progs = list(progs)
+    plan.doffs = list(doffs or [0] * len(kinds))
+    plan.aux = list(aux or [0] * len(kinds))
+    plan.data = list(data)
+    plan.tables = list(tables)
+    plan.end_records = list(end_records)
+    return plan
+
+
+GOOD_BODY = [OP_PH, 0, OP_STORE_SLOT, 0, OP_END, 0]
+BAD_BODY = [OP_ADD, 0, OP_END, 0]  # stack underflow
+
+
+class TestPlanVerifier:
+    def test_well_formed_plan_is_clean(self):
+        prog = _raw(GOOD_BODY, shapes="i")
+        plan = _plan([prog, None], [K_ACTION, K_END], data=[5])
+        assert verify_plan(plan, n_slots=4) == []
+        assert_lowerable(plan, n_slots=4, externs=None)
+
+    def test_end_slot_with_body_fac402(self):
+        prog = _raw(GOOD_BODY, shapes="i")
+        plan = _plan([prog, prog], [K_ACTION, K_END], data=[5])
+        assert "FAC402" in _codes(verify_plan(plan))
+
+    def test_data_arena_overrun_fac404(self):
+        prog = _raw(GOOD_BODY, shapes="i")
+        plan = _plan([prog, None], [K_ACTION, K_END], doffs=[3, 0],
+                     data=[5])
+        assert "FAC404" in _codes(verify_plan(plan))
+
+    def test_verify_slot_with_action_body_fac402(self):
+        prog = _raw(GOOD_BODY, shapes="i")
+        plan = _plan([prog, None], [K_VERIFY_EQ, K_END], data=[5],
+                     tables=[{0: 1}])
+        assert "FAC402" in _codes(verify_plan(plan))
+
+    def test_successor_out_of_range_fac404(self):
+        prog = _raw([OP_PH, 0, OP_RETURN, 0, OP_END, 0], shapes="i",
+                    is_verify=True)
+        plan = _plan([prog, None], [K_VERIFY_EQ, K_END], data=[5],
+                     tables=[{0: 99}])
+        assert "FAC404" in _codes(verify_plan(plan))
+
+    def test_gate_raises_on_rejected_body(self):
+        plan = _plan([_raw(BAD_BODY), None], [K_ACTION, K_END])
+        with pytest.raises(Unlowerable, match="verifier"):
+            assert_lowerable(plan, n_slots=4, externs=None)
+
+    def test_gate_memoizes_verified_programs(self):
+        prog = _raw(GOOD_BODY, shapes="i")
+        plan = _plan([prog, None], [K_ACTION, K_END], data=[5])
+        seen: set[int] = set()
+        assert_lowerable(plan, n_slots=4, externs=None, verified=seen)
+        assert id(prog) in seen
+        # Second pass must not re-verify (and must still succeed).
+        assert_lowerable(plan, n_slots=4, externs=None, verified=seen)
+
+
+# ---------------------------------------------------------------------------
+# Differential fuzz: random bodies through verifier + interpreter
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def rand_exprs(draw, depth=0):
+    """A random body expression over ``_ph0``/``_ph1``/``_S[1]`` that
+    compile_body accepts; rendered as Python source text."""
+    if depth >= 3 or draw(st.booleans()) and depth > 1:
+        return draw(st.sampled_from([
+            "_ph0", "_ph1", "_S[1]",
+            str(draw(st.integers(-1000, 1000))),
+        ]))
+    kind = draw(st.sampled_from(
+        ["bin", "shift", "cmp", "ternary", "call", "unary"]))
+    a = draw(rand_exprs(depth=depth + 1))
+    if kind == "bin":
+        op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
+        b = draw(rand_exprs(depth=depth + 1))
+        return f"({a} {op} {b})"
+    if kind == "shift":
+        op = draw(st.sampled_from(["<<", ">>"]))
+        return f"({a} {op} {draw(st.integers(0, 7))})"
+    if kind == "cmp":
+        op = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+        b = draw(rand_exprs(depth=depth + 1))
+        return f"(1 if {a} {op} {b} else 0)"
+    if kind == "ternary":
+        b = draw(rand_exprs(depth=depth + 1))
+        c = draw(rand_exprs(depth=depth + 1))
+        return f"({b} if {a} != 0 else {c})"
+    if kind == "unary":
+        return f"(-{a})"  # the body IR has NEG but no bitwise invert
+    fn = draw(st.sampled_from(
+        ["abs", "popcount", "s32", "idiv2", "imod2", "minmax"]))
+    if fn == "idiv2":
+        return f"idiv({a}, {draw(st.integers(1, 9))})"
+    if fn == "imod2":
+        return f"imod({a}, {draw(st.integers(1, 9))})"
+    if fn == "minmax":
+        b = draw(rand_exprs(depth=depth + 1))
+        f = draw(st.sampled_from(["min", "max"]))
+        return f"{f}({a}, {b})"
+    return f"{fn}({a})"
+
+
+def _eval_reference(lines, S, data):
+    """Execute the body source with plain Python semantics — the same
+    namespace trick the generated fast-action functions use."""
+    from repro.facile.builtins import popcount, s32
+    from repro.facile.codegen import idiv, imod
+
+    ns = {
+        "_S": S, "idiv": idiv, "imod": imod, "popcount": popcount,
+        "s32": s32, "abs": abs, "min": min, "max": max,
+    }
+    for k, v in enumerate(data):
+        ns[f"_ph{k}"] = v
+    for line in lines:
+        exec(line, ns)
+
+
+class TestDifferentialFuzz:
+    @settings(max_examples=120, deadline=None)
+    @given(rand_exprs(), st.integers(-2**40, 2**40), st.integers(-2**40, 2**40))
+    def test_clean_bodies_agree_with_python(self, expr, v0, v1):
+        lines = [f"_S[0] = {expr}"]
+        prog = _body(lines, "ii")
+        findings = verify_body(prog, n_slots=4)
+        assert [f for f in findings if f.is_error] == []
+        S_ir = [0, 17, 0, 0]
+        interpret_body(prog, _NullCtx(), S_ir, (v0, v1))
+        S_py = [0, 17, 0, 0]
+        _eval_reference(lines, S_py, (v0, v1))
+        assert S_ir == S_py
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        rand_exprs(),
+        st.integers(0, 2**32),
+        st.lists(
+            st.tuples(st.integers(0, 63), st.integers(0, 255)),
+            min_size=1, max_size=4,
+        ),
+    )
+    def test_mutated_bytecode_never_reaches_emitter_unchecked(
+            self, expr, seed, mutations):
+        """Corrupt a compiled body at random positions: either the
+        verifier rejects it (and the emitter gate raises), or the body
+        still executes without stack/local/slot faults."""
+        prog = _body([f"_S[0] = {expr}"], "ii")
+        code = list(prog.code)
+        for pos, val in mutations:
+            code[pos % len(code)] = val
+        bad = BodyProgram(0, code, prog.n_locals, prog.max_stack,
+                          prog.shapes, prog.is_verify, prog.uses_extern,
+                          prog.source)
+        findings = verify_body(bad, n_slots=4, externs=ExternTable())
+        if any(f.is_error for f in findings):
+            plan = _plan([bad, None], [K_ACTION, K_END], data=[1, 2])
+            with pytest.raises(Unlowerable):
+                assert_lowerable(plan, n_slots=4, externs=ExternTable())
+            return
+        try:
+            interpret_body(bad, _NullCtx(), [0, 17, 0, 0], (seed, 3))
+        except IndexError as exc:  # pragma: no cover - verifier hole
+            pytest.fail(
+                f"verifier-clean body faulted on stack/locals: {exc}")
+        except Exception:
+            # Value-dependent runtime errors (div0, None memory, …) are
+            # the kernel's guarded-op territory, not stack discipline.
+            pass
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: C backend parity on fuzz-generated dynamic bodies
+# ---------------------------------------------------------------------------
+
+
+from repro.facile.cbackend import load_kernel  # noqa: E402
+
+KERNEL = load_kernel()
+requires_cc = pytest.mark.skipif(
+    not KERNEL.status.available,
+    reason=f"C kernel unavailable: {KERNEL.status.reason}",
+)
+
+
+@st.composite
+def fac_exprs(draw, depth=0):
+    """Random Facile expression over dynamic x, y (extern results)."""
+    if depth >= 3 or (depth > 1 and draw(st.booleans())):
+        return draw(st.sampled_from(
+            ["x", "y", str(draw(st.integers(-99, 99)))]))
+    a = draw(fac_exprs(depth=depth + 1))
+    b = draw(fac_exprs(depth=depth + 1))
+    kind = draw(st.sampled_from(["bin", "shift", "div", "cmp"]))
+    if kind == "bin":
+        op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
+        return f"({a} {op} {b})"
+    if kind == "shift":
+        op = draw(st.sampled_from(["<<", ">>"]))
+        return f"({a} {op} {draw(st.integers(0, 7))})"
+    if kind == "div":
+        op = draw(st.sampled_from(["/", "%"]))
+        return f"({a} {op} (({b} & 7) + 1))"
+    op = draw(st.sampled_from(["<", "<=", "==", "!="]))
+    return f"(({a} {op} {b}) * 3)"
+
+
+@requires_cc
+class TestKernelFuzzParity:
+    @settings(max_examples=25, deadline=None)
+    @given(fac_exprs())
+    def test_c_and_python_replay_agree(self, expr):
+        from repro.facile import FastForwardEngine
+        from repro.facile.compiler import compile_source
+
+        src = f"""
+        val init = 0;
+        val out = 0;
+        extern srcv(1);
+        fun main(pc) {{
+          val x = srcv(pc);
+          val y = srcv(pc + 17);
+          out = out + {expr};
+          init = (pc + 1) % 4;
+        }}
+        """
+        sim = compile_source(src).simulator
+
+        def srcv(v):
+            return ((v * 2654435761) & 0xFFFFFFFF) - (v & 1) * 1000
+
+        outs = []
+        for backend in ("c", "python"):
+            ctx = sim.make_context({"srcv": srcv})
+            ctx.write_global("init", 0)
+            engine = FastForwardEngine(
+                sim, ctx, replay_backend=backend, trace_jit=False)
+            engine.run(max_steps=24)
+            if backend == "c":
+                # Keys cycle mod 4, so warm steps really replay — and
+                # the gate verified every body the kernel ran.
+                assert engine.backend_status["active"] == "c", (
+                    engine.backend_status)
+                native = engine._cnative
+                assert native is not None
+                assert native.chains_unlowerable == 0, native.summary()
+            outs.append(ctx.read_global("out"))
+        assert outs[0] == outs[1]
+
+
+# ---------------------------------------------------------------------------
+# Uarch module-protocol audit (FAC5xx)
+# ---------------------------------------------------------------------------
+
+
+class TestProtocolAudit:
+    def test_shipped_suite_is_conformant(self):
+        assert audit_builtin_models() == []
+
+    def test_suite_covers_the_native_registry(self):
+        labels = {label for label, _, _ in builtin_model_suite()}
+        assert {"FrontEndPredictor", "CacheHierarchy"} <= labels
+        assert len(labels) >= 9
+
+    def test_undeclared_array_fac501(self):
+        from array import array
+
+        class M:
+            def __init__(self):
+                self.table = array("q", [0] * 8)
+
+            def config_key(self):
+                return ("m",)
+
+            def state_arrays(self):
+                return {}
+
+        assert "FAC501" in _codes(audit_model(M()))
+
+    def test_mutable_container_fac502(self):
+        class M:
+            def __init__(self):
+                self.history = []
+
+            def config_key(self):
+                return ("m",)
+
+            def state_arrays(self):
+                return {}
+
+        assert "FAC502" in _codes(audit_model(M()))
+
+    def test_underkeyed_config_fac503(self):
+        class M:
+            def __init__(self, entries=64):
+                self.entries = entries
+
+            def config_key(self):
+                return ("m",)
+
+            def state_arrays(self):
+                return {}
+
+        assert "FAC503" in _codes(audit_config_key(M))
+
+    def test_malformed_surface_fac504(self):
+        class M:
+            def __init__(self):
+                pass
+
+            def config_key(self):
+                return ("m",)
+
+            def state_arrays(self):
+                return ["not", "a", "dict"]
+
+        assert _codes(audit_model(M())) == ["FAC504"]
+
+    def test_stats_dataclasses_are_exempt(self):
+        from repro.uarch.cache import CacheHierarchy
+
+        # CacheHierarchy carries dataclass stats mirrors and a frozen
+        # config; none of those may be flagged.
+        assert audit_model(CacheHierarchy()) == []
+
+
+# ---------------------------------------------------------------------------
+# Analysis-stage integration: repro check below the AST
+# ---------------------------------------------------------------------------
+
+
+class TestCheckIntegration:
+    def test_builtin_sims_run_ir_stage_clean(self):
+        from repro.cli import _BUILTIN_SIMS, _builtin_sim_source
+
+        for name in _BUILTIN_SIMS:
+            rep = run_check(_builtin_sim_source(name), f"<builtin:{name}>")
+            assert {"ir-verify", "ir-lowerability", "uarch-protocol"} <= set(
+                rep.passes)
+            assert rep.clean, rep.render_text()
+            assert rep.ir["bodies_rejected"] == 0
+            assert rep.ir["bodies_python"] == 0
+            assert rep.ir["bodies_lowerable"] > 0
+
+    def test_builtin_externs_are_all_native(self):
+        from repro.cli import _builtin_sim_source
+
+        rep = run_check(_builtin_sim_source("inorder"), "<builtin:inorder>")
+        assert set(rep.ir["externs"]) <= NATIVE_EXTERN_NAMES
+
+    def test_unlowerable_extern_fixture_yields_exactly_fac410(self):
+        path = FIXTURES / "unlowerable_extern.fac"
+        rep = run_check(path.read_text(), str(path))
+        assert [d.code for d in rep.sink.sorted()] == ["FAC410"]
+        # INFO severity: never affects the exit code, even under -Werror.
+        assert rep.exit_code() == 0 and rep.exit_code(werror=True) == 0
+        diag = rep.sink.sorted()[0]
+        assert diag.span.is_known  # span hygiene: caret, not UNKNOWN_SPAN
+        assert any("declined" in n.message for n in diag.notes)
+
+    def test_non_native_extern_yields_fac411_with_provenance(self):
+        rep = run_check(
+            "val init;\nextern trace(1);\n"
+            "fun main(pc) { trace(pc); init = pc; }\n"
+        )
+        codes = [d.code for d in rep.sink.sorted()]
+        assert codes == ["FAC411"]
+        note_text = " ".join(
+            n.message for n in rep.sink.sorted()[0].notes)
+        assert "native dispatch" in note_text
+
+    def test_nonconformant_model_fixture_yields_exactly_fac502(self):
+        rep = check_model_file(str(FIXTURES / "nonconformant_model.py"))
+        assert [d.code for d in rep.sink.sorted()] == ["FAC502"]
+        assert rep.exit_code() == 0 and rep.exit_code(werror=True) == 1
+        assert rep.ir["model_classes_audited"] == 1
+
+    def test_check_cli_routes_py_files(self, capsys):
+        rc = main(["check", "--format", "json",
+                   str(FIXTURES / "nonconformant_model.py")])
+        assert rc == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert [d["code"] for d in blob["files"][0]["diagnostics"]] == [
+            "FAC502"]
+
+    def test_ir_summary_in_json_schema(self):
+        rep = run_check("val init; fun main(pc) { init = pc; }")
+        blob = rep.to_json()
+        assert "ir" in blob
+        assert blob["ir"]["bodies_rejected"] == 0
+
+    def test_only_filter_skips_codegen(self):
+        rep = run_check(
+            "val init; fun main(pc) { init = pc; }",
+            only={"cache-blowup"},
+        )
+        assert rep.passes == ["cache-blowup"]
+        assert rep.ir == {}
+
+    def test_wrap_census_reported_not_diagnosed(self):
+        from repro.cli import _builtin_sim_source
+
+        rep = run_check(_builtin_sim_source("inorder"), "<builtin:inorder>")
+        assert rep.ir["wrap_census"]  # ops present…
+        assert "FAC405" not in [d.code for d in rep.sink.sorted()]  # …silent
+
+    def test_explain_check_renders_ir_tier(self):
+        from repro.facile.inspect import explain_check
+
+        rep = run_check("val init; fun main(pc) { init = pc; }")
+        text = explain_check(rep)
+        assert "ir tier:" in text
+
+
+# ---------------------------------------------------------------------------
+# Diagnostics index: registry-generated docs stay fresh
+# ---------------------------------------------------------------------------
+
+
+class TestDiagnosticsIndex:
+    def test_every_code_has_an_example(self):
+        assert set(CODE_EXAMPLES) == set(CODES)
+
+    def test_index_lists_every_code(self):
+        text = render_code_index()
+        for code in CODES:
+            assert code in text
+
+    def test_docs_file_is_fresh(self):
+        path = pathlib.Path(__file__).parent.parent / "docs" / "DIAGNOSTICS.md"
+        assert path.exists(), (
+            "regenerate with: python -m repro.facile.diagnostics "
+            "--write docs/DIAGNOSTICS.md")
+        assert path.read_text() == render_code_index() + "\n", (
+            "docs/DIAGNOSTICS.md is stale; regenerate with: "
+            "python -m repro.facile.diagnostics --write docs/DIAGNOSTICS.md")
